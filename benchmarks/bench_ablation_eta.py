@@ -1,0 +1,55 @@
+"""Ablation A3: the overlay weight η (Eqn. (9a)).
+
+η prices one dbu² of cross-layer overlay against one dbu² of density
+gap during sizing.  The paper uses η = 1 under its own normalisation;
+under this suite's calibrated β the contest harness uses 0.2
+(``repro.bench.contest.CONTEST_ETA``).  The sweep exposes the whole
+trade-off curve: density metrics degrade and overlay improves
+monotonically as η grows.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import measure_raw_components
+
+_ETAS = [0.0, 0.2, 0.5, 1.0]
+_rows = {}
+
+
+def _run(bench, eta):
+    layout = bench.fresh_layout()
+    DummyFillEngine(
+        FillConfig(eta=eta), weights=bench.weights
+    ).run(layout, bench.grid)
+    raw = measure_raw_components(layout, bench.grid)
+    _rows[eta] = raw
+    return raw
+
+
+@pytest.mark.parametrize("eta", _ETAS)
+def test_eta_sweep(benchmark, benchmarks_cache, eta):
+    bench = benchmarks_cache("s")
+    raw = benchmark.pedantic(_run, args=(bench, eta), rounds=1, iterations=1)
+    assert raw.overlay >= 0
+
+
+def test_eta_report(benchmark, benchmarks_cache, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    bench = benchmarks_cache("s")
+    lines = [f"{'eta':>6}{'sigma_sum':>12}{'line_sum':>12}{'overlay':>14}"]
+    for eta in _ETAS:
+        raw = _rows[eta]
+        lines.append(
+            f"{eta:>6.2f}{raw.variation:>12.4f}{raw.line:>12.3f}"
+            f"{raw.overlay:>14.0f}"
+        )
+    lines.append(
+        f"(overlay beta = {bench.weights.beta_overlay:.0f}; the sweep "
+        "shows the density/overlay trade-off the sizing objective prices)"
+    )
+    emit(results_dir, "ablation_eta", "\n".join(lines))
+    # Trade-off direction: more eta -> less overlay, more variation.
+    assert _rows[1.0].overlay <= _rows[0.0].overlay
+    assert _rows[1.0].variation >= _rows[0.0].variation - 1e-9

@@ -1,0 +1,66 @@
+"""Ablation A6: geometric fill vs tile-based fill — fill count and bytes.
+
+The paper's motivating observation (§1): "traditional tile-based method
+for fill insertion usually results in very large number of fills, which
+increases the cost of layout storage."  This bench quantifies it on the
+scaled suite: number of fills and solution GDSII bytes for the
+geometric engine vs the tile-LP and greedy baselines.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.baselines import greedy_fill, tile_lp_fill
+from repro.core import DummyFillEngine, FillConfig
+from repro.gdsii import measure_file_size
+
+_rows = {}
+
+
+def _ours(bench):
+    layout = bench.fresh_layout()
+    DummyFillEngine(FillConfig(eta=0.2), weights=bench.weights).run(
+        layout, bench.grid
+    )
+    return layout
+
+
+def _tile(bench):
+    layout = bench.fresh_layout()
+    tile_lp_fill(layout, bench.grid, r=4)
+    return layout
+
+
+def _greedy(bench):
+    layout = bench.fresh_layout()
+    greedy_fill(layout, bench.grid)
+    return layout
+
+
+_FILLERS = {"ours": _ours, "tile-lp": _tile, "greedy": _greedy}
+
+
+@pytest.mark.parametrize("filler", list(_FILLERS))
+def test_filecount(benchmark, benchmarks_cache, filler):
+    bench = benchmarks_cache("s")
+    layout = benchmark.pedantic(
+        _FILLERS[filler], args=(bench,), rounds=1, iterations=1
+    )
+    _rows[filler] = (layout.num_fills, measure_file_size(layout))
+    assert layout.num_fills > 0
+
+
+def test_filecount_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'filler':<10}{'#fills':>9}{'GDSII bytes':>13}"]
+    for filler in _FILLERS:
+        fills, size = _rows[filler]
+        lines.append(f"{filler:<10}{fills:>9}{size:>13}")
+    ours_fills = _rows["ours"][0]
+    tile_fills = _rows["tile-lp"][0]
+    lines.append(
+        f"\ntile-LP emits {tile_fills / ours_fills:.1f}x more fills than the "
+        "geometric engine (the paper's storage argument, §1)"
+    )
+    emit(results_dir, "ablation_filecount", "\n".join(lines))
+    assert tile_fills > 2 * ours_fills

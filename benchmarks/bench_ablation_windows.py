@@ -1,0 +1,51 @@
+"""Ablation A5: window-count (N x M) sensitivity.
+
+Density metrics are defined on the fixed dissection (Fig. 2(b)), so the
+window count is part of the problem statement.  The sweep runs the
+engine on benchmark ``s`` dissected at three granularities and reports
+metrics (measured on each grid) and runtime — finer dissections expose
+more variation and cost more sizing LPs.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import measure_raw_components
+from repro.layout import WindowGrid
+
+_GRIDS = [4, 8, 16]
+_rows = {}
+
+
+def _run(bench, n):
+    layout = bench.fresh_layout()
+    grid = WindowGrid(layout.die, n, n)
+    report = DummyFillEngine(
+        FillConfig(eta=0.2), weights=bench.weights
+    ).run(layout, grid)
+    raw = measure_raw_components(layout, grid)
+    _rows[n] = (raw, report.num_fills, report.total_seconds)
+    return raw
+
+
+@pytest.mark.parametrize("n", _GRIDS)
+def test_window_sweep(benchmark, benchmarks_cache, n):
+    bench = benchmarks_cache("s")
+    raw = benchmark.pedantic(_run, args=(bench, n), rounds=1, iterations=1)
+    assert raw.variation >= 0
+
+
+def test_window_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'grid':>8}{'sigma_sum':>12}{'line_sum':>12}{'overlay':>12}"
+        f"{'#fills':>8}{'seconds':>9}"
+    ]
+    for n in _GRIDS:
+        raw, fills, secs = _rows[n]
+        lines.append(
+            f"{n:>4}x{n:<3}{raw.variation:>12.4f}{raw.line:>12.3f}"
+            f"{raw.overlay:>12.0f}{fills:>8}{secs:>9.2f}"
+        )
+    emit(results_dir, "ablation_windows", "\n".join(lines))

@@ -1,0 +1,106 @@
+"""Figs. 4/5 reproduction: candidate generation in the two overlay cases.
+
+* **Fig. 4 (Case I, zero overlay)** — the region free on both layers
+  (Region 3) is large enough for both layers' density gaps; Alg. 1
+  steers fills there and the resulting fill-vs-fill overlay is zero.
+* **Fig. 5 (Case II, non-zero overlay)** — Region 3 is too small;
+  fills must extend into the singly-free Regions 1/2 and a small
+  overlay is accepted for density's sake (quality score Eqn. (8)).
+
+The benchmarked quantity is Alg. 1 itself on each scenario; the report
+records the achieved overlay for both cases.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import FillConfig
+from repro.core.candidates import generate_candidates
+from repro.core.planner import plan_targets
+from repro.density import analyze_layout
+from repro.geometry import Rect, intersection_area
+from repro.layout import DrcRules, Layout, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=400, max_fill_width=100, max_fill_height=100
+)
+
+
+def _scenario(case):
+    """A driver window plus a 600x600 test window, two layers (Figs. 4/5).
+
+    In the test window, layer-1 wires block the left band and layer-2
+    wires block the right band; the middle is Region 3 (free on both).
+    ``fig4`` leaves a wide middle (Case I: both density gaps fit);
+    ``fig5`` narrows it so the gap spills into the singly-free bands.
+    The driver window carries dense wires on both layers, pulling the
+    Case I target density up so the test window actually needs fill.
+    """
+    layout = Layout(Rect(0, 0, 1200, 600), num_layers=2, rules=RULES)
+    # Driver window x in [0, 600): ~35% dense stripes on both layers —
+    # high enough to demand fill in the test window, low enough that the
+    # fig4 geometry's Region 3 can still host both density gaps (Case I).
+    y = 0
+    while y < 600:
+        layout.layer(1).add_wire(Rect(0, y, 590, y + 14))
+        layout.layer(2).add_wire(Rect(0, y, 590, y + 14))
+        y += 40
+    # Test window x in [600, 1200).
+    if case == "fig4":
+        left_band = Rect(600, 0, 700, 600)
+        right_band = Rect(1100, 0, 1200, 600)
+    else:
+        left_band = Rect(600, 0, 860, 600)
+        right_band = Rect(940, 0, 1200, 600)
+    y = 0
+    while y < 600:
+        layout.layer(1).add_wire(Rect(left_band.xl, y, left_band.xh, y + 20))
+        layout.layer(2).add_wire(Rect(right_band.xl, y, right_band.xh, y + 20))
+        y += 40
+    grid = WindowGrid(layout.die, 2, 1)
+    return layout, grid
+
+
+def _run_case(case, config=None):
+    layout, grid = _scenario(case)
+    config = config or FillConfig()
+    margin = config.effective_margin(RULES.min_spacing)
+    analysis = analyze_layout(layout, grid, window_margin=margin)
+    plan = plan_targets(analysis, td_step=config.td_step)
+    cands = generate_candidates(layout, grid, plan, analysis, config)
+    per_layer = cands[(1, 0)]  # the test window (window 0 is the driver)
+    fill_fill = intersection_area(per_layer.get(1, []), per_layer.get(2, []))
+    fill_wire = intersection_area(
+        per_layer.get(1, []), layout.layer(2).wires
+    ) + intersection_area(per_layer.get(2, []), layout.layer(1).wires)
+    areas = {n: sum(r.area for r in rects) for n, rects in per_layer.items()}
+    return fill_fill, fill_wire, areas
+
+
+def test_fig4_zero_overlay(benchmark):
+    fill_fill, fill_wire, areas = benchmark(lambda: _run_case("fig4"))
+    assert areas[1] > 0 and areas[2] > 0
+    # Case I: the doubly-free region hosts everything without overlap.
+    assert fill_fill == 0
+
+
+def test_fig5_bounded_overlay(benchmark):
+    fill_fill, fill_wire, areas = benchmark(lambda: _run_case("fig5"))
+    assert areas[1] > 0 and areas[2] > 0
+    total = areas[1] + areas[2]
+    # Case II: some overlay is inevitable but stays a small fraction.
+    assert fill_fill + fill_wire < 0.5 * total
+
+
+def test_fig45_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for case in ("fig4", "fig5"):
+        fill_fill, fill_wire, areas = _run_case(case)
+        lines.append(
+            f"{case}: fill areas L1={areas[1]} L2={areas[2]}, "
+            f"fill-fill overlay={fill_fill}, fill-wire overlay={fill_wire}"
+        )
+    lines.append("paper: Fig. 4 case admits a zero-overlay arrangement;")
+    lines.append("       Fig. 5 case accepts small overlay for density.")
+    emit(results_dir, "fig4_fig5", "\n".join(lines))

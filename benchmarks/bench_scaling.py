@@ -1,0 +1,89 @@
+"""Ablation A8: runtime scaling — the "high performance" claim.
+
+The paper's title claim is about *scale*: tile-based LP formulations
+blow up ("over 160K variables" for one layout, §1) while the geometric
+engine's work grows with the geometry.  This bench runs our engine,
+the tile-LP baseline, and the Monte-Carlo baseline on a family of
+growing synthetic layouts and records wall time; the expected shape —
+our engine overtakes both baselines as the layout grows — mirrors the
+runtime relationships measured on the full suite (EXPERIMENTS.md).
+"""
+
+import time
+
+import pytest
+from conftest import QUICK, emit
+
+from repro.baselines import monte_carlo_fill, tile_lp_fill
+from repro.bench.generator import LayoutSpec, generate_layout
+from repro.core import DummyFillEngine, FillConfig
+from repro.layout import DrcRules, WindowGrid
+
+_RULES = DrcRules(
+    min_spacing=10,
+    min_width=10,
+    min_area=400,
+    max_fill_width=150,
+    max_fill_height=150,
+)
+
+_SIZES = [2000, 4000] if QUICK else [2000, 4000, 8000]
+_rows = {}
+
+
+def _layout_for(size):
+    spec = LayoutSpec(
+        name=f"scale{size}",
+        die_size=size,
+        seed=size,
+        num_cell_rects=size // 9,
+        num_bus_bundles=max(1, size // 2000),
+        num_macros=max(1, size // 4000),
+        rules=_RULES,
+    )
+    layout = generate_layout(spec)
+    return layout, WindowGrid(layout.die, size // 500, size // 500)
+
+
+def _run(filler, size):
+    layout, grid = _layout_for(size)
+    start = time.perf_counter()
+    if filler == "ours":
+        DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
+    elif filler == "tile-lp":
+        tile_lp_fill(layout, grid, r=4)
+    else:
+        monte_carlo_fill(layout, grid)
+    secs = time.perf_counter() - start
+    _rows[(filler, size)] = (secs, layout.num_fills)
+    return secs
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("filler", ["ours", "tile-lp", "mc"])
+def test_scaling(benchmark, filler, size):
+    secs = benchmark.pedantic(_run, args=(filler, size), rounds=1, iterations=1)
+    assert secs > 0
+
+
+def test_scaling_report(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [f"{'die':>7}{'windows':>9}" + "".join(f"{f:>12}" for f in ("ours", "tile-lp", "mc"))]
+    for size in _SIZES:
+        cells = "".join(
+            f"{_rows[(f, size)][0]:>11.1f}s" for f in ("ours", "tile-lp", "mc")
+        )
+        n = size // 500
+        lines.append(f"{size:>7}{f'{n}x{n}':>9}{cells}")
+    largest = _SIZES[-1]
+    ours = _rows[("ours", largest)][0]
+    lines.append(
+        f"\nat die {largest}: ours {ours:.1f}s vs "
+        f"tile-LP {_rows[('tile-lp', largest)][0]:.1f}s, "
+        f"MC {_rows[('mc', largest)][0]:.1f}s"
+    )
+    emit(results_dir, "scaling", "\n".join(lines))
+    # The headline shape: the geometric engine is not the slowest at scale.
+    assert ours <= max(
+        _rows[("tile-lp", largest)][0], _rows[("mc", largest)][0]
+    )

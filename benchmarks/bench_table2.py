@@ -1,0 +1,62 @@
+"""Table 2 reproduction: benchmark statistics and score coefficients.
+
+The paper's Table 2 lists, per contest benchmark, the design size
+(#polygons, #layers, file size) and the α/β coefficients of every score
+component.  This bench regenerates the scaled suite and prints the same
+table for it; generation + calibration of each benchmark is the timed
+quantity.
+"""
+
+from conftest import QUICK, emit
+
+from repro.bench import SUITE_SPECS, load_benchmark
+
+_HEADER = (
+    f"{'Design':<8}{'#Wires':>8}{'#L':>4}{'File size':>12}"
+    f"{'ov beta':>14}{'var beta':>10}{'line beta':>10}{'outl beta':>10}"
+    f"{'size beta':>10}{'rt beta':>9}{'mem beta':>9}"
+)
+
+_rows = {}
+
+
+def _load_and_row(name):
+    bench = load_benchmark(name)
+    w = bench.weights
+    row = (
+        f"{name:<8}{bench.num_wires:>8}{bench.layout.num_layers:>4}"
+        f"{bench.input_size_mb:>10.3f}MB"
+        f"{w.beta_overlay:>14.3e}{w.beta_variation:>10.4f}"
+        f"{w.beta_line:>10.3f}{w.beta_outlier:>10.4f}"
+        f"{w.beta_size:>10.4f}{w.beta_runtime:>9.0f}{w.beta_memory:>9.0f}"
+    )
+    _rows[name] = row
+    return bench
+
+
+def test_table2_generate_s(benchmark):
+    bench = benchmark.pedantic(_load_and_row, args=("s",), rounds=1, iterations=1)
+    assert bench.num_wires > 0
+
+
+def test_table2_generate_b(benchmark):
+    bench = benchmark.pedantic(_load_and_row, args=("b",), rounds=1, iterations=1)
+    assert bench.num_wires > 0
+
+
+def test_table2_generate_m(benchmark, results_dir):
+    if not QUICK:
+        bench = benchmark.pedantic(
+            _load_and_row, args=("m",), rounds=1, iterations=1
+        )
+        assert bench.num_wires > 0
+    else:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [_HEADER, "-" * len(_HEADER)]
+    lines += [_rows[k] for k in SUITE_SPECS if k in _rows]
+    lines.append(
+        "\nalpha weights (all benchmarks, as in the contest): "
+        "overlay 0.2, variation 0.2, line 0.2, outlier 0.15, "
+        "size 0.05, runtime 0.15, memory 0.05"
+    )
+    emit(results_dir, "table2", "\n".join(lines))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""ECO workflow: patch a routed change without re-filling the die.
+
+A net is re-routed after fill signoff.  Instead of rerunning the whole
+fill (churning every window's GDSII), the ECO flow rips up only the
+fills the change invalidated and re-fills the touched windows to the
+same density discipline.
+
+Run:  python examples/eco_refill.py
+"""
+
+from repro import DrcRules, FillConfig, Rect, WindowGrid
+from repro.bench import LayoutSpec, generate_layout
+from repro.core import DummyFillEngine
+from repro.density import metal_density_map, compute_metrics
+from repro.eco import apply_eco
+from repro.gdsii import measure_file_size
+
+
+def main():
+    rules = DrcRules(
+        min_spacing=10,
+        min_width=10,
+        min_area=400,
+        max_fill_width=120,
+        max_fill_height=120,
+    )
+    layout = generate_layout(
+        LayoutSpec(
+            name="eco-demo",
+            die_size=3000,
+            seed=44,
+            num_cell_rects=300,
+            num_bus_bundles=2,
+            num_macros=1,
+            rules=rules,
+        )
+    )
+    grid = WindowGrid(layout.die, 6, 6)
+
+    report = DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
+    print(f"initial fill: {report.summary()}")
+    sigma_before = sum(
+        compute_metrics(metal_density_map(layer, grid)).sigma
+        for layer in layout.layers
+    )
+    print(f"sigma_sum after initial fill: {sigma_before:.4f}")
+    print(f"solution size: {measure_file_size(layout)} bytes\n")
+
+    # The change: a repair net routed across two windows on metal 2.
+    change = {2: [Rect(400, 1480, 1600, 1520)]}
+    eco = apply_eco(layout, grid, change, FillConfig(eta=0.2))
+    print(eco.summary())
+    print(f"affected windows: {eco.affected_windows}")
+
+    sigma_after = sum(
+        compute_metrics(metal_density_map(layer, grid)).sigma
+        for layer in layout.layers
+    )
+    violations = layout.check_drc()
+    print(
+        f"\nafter ECO: sigma_sum {sigma_after:.4f} "
+        f"(was {sigma_before:.4f}), DRC violations: {len(violations)}"
+    )
+    total_windows = grid.num_windows
+    print(
+        f"churn: {len(eco.affected_windows)}/{total_windows} windows "
+        f"touched — the rest of the GDSII is byte-stable"
+    )
+
+
+if __name__ == "__main__":
+    main()

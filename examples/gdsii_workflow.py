@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""File-based fill workflow: GDSII in, filled GDSII out.
+
+Mirrors how the contest tools were actually invoked: read a design from
+GDSII, insert fill, write the solution back as GDSII (fills carry
+datatype 1 so downstream tools can separate them), and verify the
+round-trip.
+
+Run:  python examples/gdsii_workflow.py [input.gds [output.gds]]
+
+Without arguments a demonstration input is generated first.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import FillConfig, WindowGrid
+from repro.bench import LayoutSpec, generate_layout
+from repro.core import DummyFillEngine
+from repro.gdsii import gdsii_bytes, layout_from_gdsii
+from repro.layout import DrcRules
+
+
+def make_demo_input(path: Path) -> None:
+    """Generate a small synthetic design and store it as GDSII."""
+    spec = LayoutSpec(
+        name="demo",
+        die_size=2000,
+        seed=123,
+        num_cell_rects=200,
+        num_bus_bundles=2,
+        num_macros=1,
+        rules=DrcRules(
+            min_spacing=10,
+            min_width=10,
+            min_area=400,
+            max_fill_width=120,
+            max_fill_height=120,
+        ),
+    )
+    layout = generate_layout(spec)
+    path.write_bytes(gdsii_bytes(layout))
+    print(f"generated demo input: {path} ({path.stat().st_size} bytes)")
+
+
+def main():
+    in_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("demo_in.gds")
+    out_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("demo_out.gds")
+    if not in_path.exists():
+        make_demo_input(in_path)
+
+    layout = layout_from_gdsii(in_path.read_bytes())
+    print(
+        f"read {in_path}: die {layout.die}, {layout.num_layers} layers, "
+        f"{layout.num_wires} wires"
+    )
+
+    grid = WindowGrid(layout.die, 5, 5)
+    report = DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
+    print(f"fill: {report.summary()}")
+
+    violations = layout.check_drc()
+    print(f"DRC: {len(violations)} violations")
+
+    out_path.write_bytes(gdsii_bytes(layout))
+    growth = out_path.stat().st_size - in_path.stat().st_size
+    print(
+        f"wrote {out_path}: {out_path.stat().st_size} bytes "
+        f"(+{growth} for {report.num_fills} fills)"
+    )
+
+    # Round-trip sanity: the solution file reloads identically.
+    back = layout_from_gdsii(out_path.read_bytes())
+    assert back.num_fills == layout.num_fills
+    print("round-trip verified: fill counts match")
+
+
+if __name__ == "__main__":
+    main()

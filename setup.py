@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject [project] table carries all metadata; this shim exists so
+`pip install -e .` works on offline machines without the `wheel`
+package (legacy develop install path).
+"""
+
+from setuptools import setup
+
+setup()

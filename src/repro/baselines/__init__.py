@@ -1,0 +1,34 @@
+"""Baseline fillers from the paper's related work.
+
+* tile-based LP fill (refs. [4-6]) — the classic fixed-dissection LP,
+* Monte-Carlo iterated fill (refs. [8, 9]),
+* coupling-constrained slot fill (refs. [11, 12]),
+* greedy max-fill — the rule-based production quickie.
+
+The first three reproduce published algorithm families; greedy, tile-LP
+and Monte-Carlo stand in for the ICCAD 2014 contest top teams in the
+Table 3 reproduction, each matching a team's score signature (see
+DESIGN.md §3).
+"""
+
+from .coupling_lp import CouplingLpReport, coupling_lp_fill, solve_slot_lp
+from .greedy import GreedyReport, greedy_fill
+from .monte_carlo import MonteCarloReport, monte_carlo_fill
+from .tile_lp import TileLpReport, tile_lp_fill
+from .tiles import Tile, TileGrid, build_tile_grid, realize_tile_fill
+
+__all__ = [
+    "CouplingLpReport",
+    "coupling_lp_fill",
+    "solve_slot_lp",
+    "GreedyReport",
+    "greedy_fill",
+    "MonteCarloReport",
+    "monte_carlo_fill",
+    "TileLpReport",
+    "tile_lp_fill",
+    "Tile",
+    "TileGrid",
+    "build_tile_grid",
+    "realize_tile_fill",
+]

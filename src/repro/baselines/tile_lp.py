@@ -1,0 +1,178 @@
+"""Classic tile-based LP fill (paper §1, refs. [4–6]).
+
+The traditional formulation the paper positions itself against: per
+layer, a linear program assigns a *fill area* to every ``r x r`` tile so
+that the resulting window densities are as uniform as possible, then a
+realisation step turns tile budgets into many small fill rectangles.
+
+LP (the min–max-range uniformity objective of Kahng et al. [4]):
+
+    minimise   U - M
+    subject to M <= d(i,j) <= U          for every window (i, j)
+               0 <= a_t <= free_t        for every tile t
+               d(i,j) = (wire(i,j) + Σ_{t in (i,j)} a_t) / aw
+
+Solved with scipy HiGHS.  This baseline exhibits the published
+signature of tile-based methods: excellent density scores, but an
+order of magnitude more (and smaller) fills than the geometric
+approach — hence a poor file-size score.  It stands in for the contest
+2nd/3rd teams in the Table 3 reproduction (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from ..layout import Layout, WindowGrid
+from .tiles import TileGrid, build_tile_grid, realize_tile_fill
+
+__all__ = ["TileLpReport", "tile_lp_fill"]
+
+
+@dataclass
+class TileLpReport:
+    """Outcome of a tile-LP fill run."""
+
+    num_fills: int
+    num_tiles: int
+    lp_status: Dict[int, str]
+    seconds: float
+
+
+def _solve_layer_lp(
+    tile_grid: TileGrid, grid: WindowGrid
+) -> Tuple[np.ndarray, str]:
+    """LP over one layer's tiles; returns per-tile areas and a status."""
+    tiles = tile_grid.tiles
+    n_tiles = len(tiles)
+    windows = [(i, j) for i in range(grid.cols) for j in range(grid.rows)]
+    w_index = {w: k for k, w in enumerate(windows)}
+    n_win = len(windows)
+    # Variables: a_0..a_{T-1}, then M (index T), U (index T+1).
+    n_vars = n_tiles + 2
+    c = np.zeros(n_vars)
+    c[n_tiles] = -1.0  # maximise M
+    c[n_tiles + 1] = 1.0  # minimise U
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs: List[float] = []
+    row = 0
+    wire_area = np.zeros(n_win)
+    win_area = np.zeros(n_win)
+    for k, w in enumerate(windows):
+        win_area[k] = grid.window_area(*w)
+    for t_idx, tile in enumerate(tiles):
+        wire_area[w_index[tile.window]] += tile.wire_area
+    # M - d(i,j) <= 0  and  d(i,j) - U <= 0.
+    tiles_by_window: Dict[Tuple[int, int], List[int]] = {}
+    for t_idx, tile in enumerate(tiles):
+        tiles_by_window.setdefault(tile.window, []).append(t_idx)
+    for w, k in w_index.items():
+        aw = win_area[k]
+        base = wire_area[k] / aw
+        members = tiles_by_window.get(w, [])
+        # M <= base + sum(a)/aw   ->   M - sum(a)/aw <= base
+        rows.append(row), cols.append(n_tiles), vals.append(1.0)
+        for t_idx in members:
+            rows.append(row), cols.append(t_idx), vals.append(-1.0 / aw)
+        rhs.append(base)
+        row += 1
+        # base + sum(a)/aw <= U   ->   sum(a)/aw - U <= -base ... flip:
+        rows.append(row), cols.append(n_tiles + 1), vals.append(-1.0)
+        for t_idx in members:
+            rows.append(row), cols.append(t_idx), vals.append(1.0 / aw)
+        rhs.append(-base)
+        row += 1
+    a_ub = coo_matrix((vals, (rows, cols)), shape=(row, n_vars)).tocsr()
+    b_ub = np.asarray(rhs)
+    bounds = [(0.0, float(t.free_area)) for t in tiles]
+    bounds.append((0.0, 1.0))  # M
+    bounds.append((0.0, 1.0))  # U
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        return np.zeros(n_tiles), f"failed: {result.message}"
+    return np.maximum(0.0, result.x[:n_tiles]), "optimal"
+
+
+def _spread_within_windows(
+    tile_grid: TileGrid, areas: np.ndarray
+) -> np.ndarray:
+    """Redistribute each window's budget across its tiles.
+
+    The LP objective only constrains *window* densities, so its vertex
+    solutions concentrate a window's budget in few tiles.  Classic tile
+    fillers spread the budget per tile for intra-window uniformity
+    (refs. [4, 5]); this pass reassigns each window's total budget
+    proportionally to tile free area, capped at each tile's capacity.
+    """
+    out = np.zeros_like(areas)
+    by_window: Dict[Tuple[int, int], List[int]] = {}
+    for t_idx, tile in enumerate(tile_grid.tiles):
+        by_window.setdefault(tile.window, []).append(t_idx)
+    for members in by_window.values():
+        budget = float(areas[members].sum())
+        if budget <= 0:
+            continue
+        free = np.array(
+            [tile_grid.tiles[t].free_area for t in members], dtype=float
+        )
+        remaining = budget
+        open_tiles = list(range(len(members)))
+        # Water-fill: proportional shares, re-spreading overflow from
+        # capacity-limited tiles.
+        for _ in range(len(members)):
+            total_free = sum(free[k] for k in open_tiles)
+            if total_free <= 0 or remaining <= 1e-9:
+                break
+            overflow = 0.0
+            next_open = []
+            for k in open_tiles:
+                share = remaining * free[k] / total_free
+                cap = free[k] - out[members[k]]
+                if share >= cap:
+                    overflow += share - cap
+                    out[members[k]] = free[k]
+                else:
+                    out[members[k]] += share
+                    next_open.append(k)
+            remaining = overflow
+            open_tiles = next_open
+            if not open_tiles:
+                break
+    return out
+
+
+def tile_lp_fill(
+    layout: Layout,
+    grid: WindowGrid,
+    r: int = 4,
+) -> TileLpReport:
+    """Fill ``layout`` in place with the tile-based LP baseline."""
+    start = time.perf_counter()
+    num_fills = 0
+    num_tiles = 0
+    status: Dict[int, str] = {}
+    for layer in layout.layers:
+        tile_grid = build_tile_grid(layer, grid, layout.rules, r=r)
+        num_tiles += len(tile_grid.tiles)
+        areas, lp_status = _solve_layer_lp(tile_grid, grid)
+        status[layer.number] = lp_status
+        areas = _spread_within_windows(tile_grid, areas)
+        for tile, budget in zip(tile_grid.tiles, areas):
+            fills = realize_tile_fill(tile, float(budget), layout.rules)
+            layer.add_fills(fills)
+            num_fills += len(fills)
+    return TileLpReport(
+        num_fills=num_fills,
+        num_tiles=num_tiles,
+        lp_status=status,
+        seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,34 @@
+"""Benchmark generation, the scaled s/b/m suite, and the contest harness."""
+
+from .contest import (
+    TEAMS,
+    ContestEntry,
+    format_table,
+    headline,
+    run_contest,
+    run_team,
+)
+from .generator import LayoutSpec, generate_layout
+from .suite import (
+    SUITE_SPECS,
+    Benchmark,
+    benchmark_names,
+    calibrate_weights,
+    load_benchmark,
+)
+
+__all__ = [
+    "TEAMS",
+    "ContestEntry",
+    "format_table",
+    "headline",
+    "run_contest",
+    "run_team",
+    "LayoutSpec",
+    "generate_layout",
+    "SUITE_SPECS",
+    "Benchmark",
+    "benchmark_names",
+    "calibrate_weights",
+    "load_benchmark",
+]

@@ -1,0 +1,182 @@
+"""Synthetic ICCAD-2014-style benchmark generator.
+
+The contest benchmarks (industrial layouts of 0.4M–32M polygons) are
+not redistributable, so this module synthesises layouts with the same
+*structure* at laptop scale (DESIGN.md §3):
+
+* horizontal/vertical **bus bundles** — the long parallel wires whose
+  coupling the overlay score protects,
+* **macro blocks** — large blockages that cap the density upper bound
+  of their windows (forcing the planner's Case II),
+* **standard-cell clutter** — small scattered rectangles,
+* a lateral **density gradient** plus deliberately dense **stripe
+  columns** (line-hotspot generators) and near-empty **cold windows**
+  (outlier generators).
+
+Everything is driven by a seeded RNG: the same spec always produces
+byte-identical layouts, which the benchmark suite relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..geometry import Rect
+from ..layout import DrcRules, Layout
+
+__all__ = ["LayoutSpec", "generate_layout"]
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Parameters of one synthetic benchmark layout."""
+
+    name: str
+    die_size: int  # square die edge in dbu
+    num_layers: int = 3
+    seed: int = 2014
+    # wire population per layer
+    num_cell_rects: int = 600
+    num_bus_bundles: int = 4
+    bus_wires_per_bundle: int = 8
+    num_macros: int = 2
+    # structure controls
+    density_gradient: float = 0.5  # 0 = uniform, 1 = strong left-dense
+    hotspot_columns: Tuple[float, ...] = (0.25,)  # die-relative x of dense stripes
+    cold_windows: int = 1  # near-empty regions per layer
+    rules: DrcRules = field(default_factory=DrcRules)
+
+    def __post_init__(self) -> None:
+        if self.die_size <= 0:
+            raise ValueError("die_size must be positive")
+        if not (0.0 <= self.density_gradient <= 1.0):
+            raise ValueError("density_gradient must lie in [0, 1]")
+
+
+def _add_cell_clutter(
+    layout: Layout, spec: LayoutSpec, rng: random.Random, layer_number: int
+) -> None:
+    """Scattered standard-cell-like rectangles with a lateral gradient."""
+    die = layout.die
+    layer = layout.layer(layer_number)
+    horizontal = layer_number % 2 == 1  # preferred routing direction
+    for _ in range(spec.num_cell_rects):
+        # Rejection-sample x for the density gradient (denser on the left).
+        for _ in range(4):
+            x = rng.randrange(die.xl, die.xh)
+            keep_prob = 1.0 - spec.density_gradient * (x - die.xl) / die.width
+            if rng.random() <= keep_prob:
+                break
+        y = rng.randrange(die.yl, die.yh)
+        if horizontal:
+            w = rng.randrange(60, 400)
+            h = rng.randrange(16, 60)
+        else:
+            w = rng.randrange(16, 60)
+            h = rng.randrange(60, 400)
+        rect = Rect(x, y, min(die.xh, x + w), min(die.yh, y + h))
+        if not rect.is_degenerate:
+            layer.add_wire(rect)
+
+
+def _add_bus_bundles(
+    layout: Layout, spec: LayoutSpec, rng: random.Random, layer_number: int
+) -> None:
+    """Bundles of long parallel wires (the coupling-critical pattern)."""
+    die = layout.die
+    layer = layout.layer(layer_number)
+    horizontal = layer_number % 2 == 1
+    pitch = 3 * spec.rules.min_width
+    width = 2 * spec.rules.min_width
+    for _ in range(spec.num_bus_bundles):
+        span_lo = die.xl + rng.randrange(0, die.width // 4)
+        span_hi = die.xh - rng.randrange(0, die.width // 4)
+        base = rng.randrange(die.yl, die.yh - spec.bus_wires_per_bundle * pitch)
+        for k in range(spec.bus_wires_per_bundle):
+            offset = base + k * pitch
+            if horizontal:
+                rect = Rect(span_lo, offset, span_hi, offset + width)
+            else:
+                rect = Rect(offset, span_lo, offset + width, span_hi)
+            clipped = rect.intersection(die)
+            if clipped is not None and not clipped.is_degenerate:
+                layer.add_wire(clipped)
+
+
+def _add_macros(
+    layout: Layout, spec: LayoutSpec, rng: random.Random, layer_number: int
+) -> None:
+    """Hatched macro blocks that constrain window upper bounds.
+
+    Real macros are not solid metal on routing layers; they present as
+    dense stripe patterns (power straps, internal routing) at roughly
+    half density.  A solid block would drive the window's wire density
+    toward 1.0 and, through the planner's Case I target (max l(k,n)),
+    force the whole die to that density — unrepresentative of the
+    contest layouts.
+    """
+    die = layout.die
+    layer = layout.layer(layer_number)
+    for _ in range(spec.num_macros):
+        w = rng.randrange(die.width // 10, die.width // 5)
+        h = rng.randrange(die.height // 10, die.height // 5)
+        x = rng.randrange(die.xl, die.xh - w)
+        y = rng.randrange(die.yl, die.yh - h)
+        stripe = max(2 * spec.rules.min_width, h // 16)
+        yy = y
+        while yy + stripe <= y + h:
+            layer.add_wire(Rect(x, yy, x + w, yy + stripe))
+            yy += 2 * stripe
+
+
+def _add_hotspot_stripes(
+    layout: Layout, spec: LayoutSpec, rng: random.Random, layer_number: int
+) -> None:
+    """Dense vertical stripes: column-density gradients = line hotspots."""
+    die = layout.die
+    layer = layout.layer(layer_number)
+    stripe_w = die.width // 40
+    for rel_x in spec.hotspot_columns:
+        x0 = die.xl + int(rel_x * die.width)
+        n = 20
+        for _ in range(n):
+            y = rng.randrange(die.yl, die.yh - 100)
+            layer.add_wire(
+                Rect(x0, y, min(die.xh, x0 + stripe_w), min(die.yh, y + 100))
+            )
+
+
+def _cold_window_keepouts(
+    spec: LayoutSpec, rng: random.Random
+) -> List[Rect]:
+    """Regions kept (almost) empty of wires: density outliers."""
+    out = []
+    size = spec.die_size // 8
+    for _ in range(spec.cold_windows):
+        x = rng.randrange(0, spec.die_size - size)
+        y = rng.randrange(0, spec.die_size - size)
+        out.append(Rect(x, y, x + size, y + size))
+    return out
+
+
+def generate_layout(spec: LayoutSpec) -> Layout:
+    """Generate the deterministic synthetic layout for ``spec``."""
+    die = Rect(0, 0, spec.die_size, spec.die_size)
+    layout = Layout(die, spec.num_layers, spec.rules, name=spec.name)
+    rng = random.Random(spec.seed)
+    keepouts = _cold_window_keepouts(spec, rng)
+    for layer_number in layout.layer_numbers:
+        layer_rng = random.Random(spec.seed * 1000003 + layer_number)
+        _add_cell_clutter(layout, spec, layer_rng, layer_number)
+        _add_bus_bundles(layout, spec, layer_rng, layer_number)
+        _add_macros(layout, spec, layer_rng, layer_number)
+        _add_hotspot_stripes(layout, spec, layer_rng, layer_number)
+        # Apply cold-window keepouts: delete wires mostly inside them.
+        layout.layer(layer_number).filter_wires(
+            lambda w: not any(
+                k.intersection_area(w) > w.area // 2 for k in keepouts
+            )
+        )
+    return layout

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The contest tools were command-line binaries (GDSII in, GDSII out);
+this CLI exposes the same workflow:
+
+* ``generate`` — synthesise a benchmark layout and write it as GDSII,
+* ``info``     — print a GDSII file's layers, shape counts, densities,
+* ``fill``     — insert dummy fill into a GDSII file (the main tool),
+* ``score``    — score a filled GDSII against contest-style weights,
+* ``drc``      — check the fills of a GDSII for rule violations.
+
+Every command reads and writes real GDSII byte streams, so the CLI
+composes with any external layout tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .bench.generator import LayoutSpec, generate_layout
+from .bench.suite import calibrate_weights
+from .core import DummyFillEngine, FillConfig
+from .density import compute_metrics, metal_density_map, score_layout, wire_density_map
+from .gdsii import file_size_mb, gdsii_bytes, layout_from_gdsii
+from .layout import DrcRules, Layout, WindowGrid
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_rules_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("DRC rules")
+    group.add_argument("--min-spacing", type=int, default=10)
+    group.add_argument("--min-width", type=int, default=10)
+    group.add_argument("--min-area", type=int, default=400)
+    group.add_argument("--max-fill", type=int, default=150, help="max fill edge")
+
+
+def _rules_from(args: argparse.Namespace) -> DrcRules:
+    return DrcRules(
+        min_spacing=args.min_spacing,
+        min_width=args.min_width,
+        min_area=args.min_area,
+        max_fill_width=args.max_fill,
+        max_fill_height=args.max_fill,
+    )
+
+
+def _grid_from(args: argparse.Namespace, layout: Layout) -> WindowGrid:
+    return WindowGrid(layout.die, args.windows, args.windows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dummy fill insertion with coupling and uniformity "
+        "constraints (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a benchmark layout")
+    gen.add_argument("output", type=Path, help="output GDSII path")
+    gen.add_argument("--die", type=int, default=4000, help="die edge in dbu")
+    gen.add_argument("--layers", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=2014)
+    gen.add_argument("--wires", type=int, default=450, help="cell rects per layer")
+    _add_rules_args(gen)
+
+    info = sub.add_parser("info", help="inspect a GDSII layout")
+    info.add_argument("input", type=Path)
+    info.add_argument("--windows", type=int, default=8, help="grid edge count")
+    _add_rules_args(info)
+
+    fill = sub.add_parser("fill", help="insert dummy fill into a GDSII")
+    fill.add_argument("input", type=Path)
+    fill.add_argument("output", type=Path)
+    fill.add_argument("--windows", type=int, default=8)
+    fill.add_argument("--eta", type=float, default=0.2, help="overlay weight")
+    fill.add_argument("--lambda", dest="lambda_factor", type=float, default=1.1)
+    fill.add_argument("--gamma", type=float, default=1.0)
+    fill.add_argument(
+        "--solver",
+        choices=("mcf-ssp", "mcf-simplex", "mcf-costscaling", "lp"),
+        default="mcf-ssp",
+    )
+    fill.add_argument(
+        "--report",
+        type=Path,
+        help="write a markdown run report to this path",
+    )
+    _add_rules_args(fill)
+
+    score = sub.add_parser("score", help="score a filled GDSII")
+    score.add_argument("input", type=Path, help="filled layout")
+    score.add_argument(
+        "--reference",
+        type=Path,
+        help="unfilled layout used to calibrate the score weights "
+        "(defaults to the input with fills stripped)",
+    )
+    score.add_argument("--windows", type=int, default=8)
+    _add_rules_args(score)
+
+    drc = sub.add_parser("drc", help="check fills against the rule deck")
+    drc.add_argument("input", type=Path)
+    _add_rules_args(drc)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = LayoutSpec(
+        name=args.output.stem,
+        die_size=args.die,
+        num_layers=args.layers,
+        seed=args.seed,
+        num_cell_rects=args.wires,
+        rules=_rules_from(args),
+    )
+    layout = generate_layout(spec)
+    args.output.write_bytes(gdsii_bytes(layout))
+    print(
+        f"wrote {args.output}: {layout.num_wires} wires on "
+        f"{layout.num_layers} layers, {args.output.stat().st_size} bytes"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+    grid = _grid_from(args, layout)
+    print(f"{args.input}: die {layout.die}, {layout.num_layers} layers")
+    for layer in layout.layers:
+        wires = compute_metrics(wire_density_map(layer, grid))
+        total = compute_metrics(metal_density_map(layer, grid))
+        print(
+            f"  layer {layer.number}: {layer.num_wires} wires, "
+            f"{layer.num_fills} fills; wire density {wires.mean:.3f} "
+            f"(sigma {wires.sigma:.4f}), total {total.mean:.3f} "
+            f"(sigma {total.sigma:.4f})"
+        )
+    return 0
+
+
+def _cmd_fill(args: argparse.Namespace) -> int:
+    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+    grid = _grid_from(args, layout)
+    config = FillConfig(
+        eta=args.eta,
+        lambda_factor=args.lambda_factor,
+        gamma=args.gamma,
+        solver=args.solver,
+    )
+    report = DummyFillEngine(config).run(layout, grid)
+    violations = layout.check_drc()
+    args.output.write_bytes(gdsii_bytes(layout))
+    print(report.summary())
+    if args.report is not None:
+        from .report import render_report
+
+        args.report.write_text(render_report(layout, grid, report))
+        print(f"wrote report {args.report}")
+    print(
+        f"wrote {args.output}: {layout.num_fills} fills, "
+        f"{args.output.stat().st_size} bytes, {len(violations)} DRC violations"
+    )
+    return 0 if not violations else 2
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+    grid = _grid_from(args, layout)
+    if args.reference is not None:
+        reference = layout_from_gdsii(
+            args.reference.read_bytes(), _rules_from(args)
+        )
+    else:
+        reference = layout.copy_without_fills()
+    ref_grid = WindowGrid(reference.die, args.windows, args.windows)
+    weights = calibrate_weights(reference, ref_grid, 60.0, 1024.0)
+    size = file_size_mb(args.input.stat().st_size)
+    card = score_layout(layout, grid, weights, file_size=size)
+    for name, value in card.as_row().items():
+        print(f"  {name:<10} {value:.3f}")
+    return 0
+
+
+def _cmd_drc(args: argparse.Namespace) -> int:
+    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+    violations = layout.check_drc()
+    for v in violations[:50]:
+        print(f"  {v}")
+    print(f"{len(violations)} violations")
+    return 0 if not violations else 2
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "fill": _cmd_fill,
+    "score": _cmd_score,
+    "drc": _cmd_drc,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

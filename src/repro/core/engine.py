@@ -1,0 +1,250 @@
+"""End-to-end dummy fill insertion engine (paper Fig. 3).
+
+Runs the full flow on a layout:
+
+1. **density analysis** — wire densities, feasible fill regions and
+   density bounds per window (§2.2, §3.1 preliminaries),
+2. **density planning** — per-layer target density td (§3.1),
+3. **candidate fill generation** — Alg. 1 (§3.2),
+4. **density planning, second round** — re-plan against what the
+   candidates can actually deliver ("another round of density planning
+   is performed due to the inconsistency between candidate fills and
+   initial plans"),
+5. **dummy fill insertion** — shrink candidates to final sizes via the
+   alternating LP / dual-MCF relaxation (§3.3) and commit them to the
+   layout.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..density.analysis import LayerDensity, analyze_layout
+from ..density.scoring import ScoreWeights
+from ..layout import Layout, WindowGrid
+from .candidates import CandidatePlan, candidate_area_maps, generate_candidates
+from .config import FillConfig
+from .planner import DensityPlan, PlannerObjective, plan_targets
+from .sizing import SizingStats, size_fills
+
+__all__ = ["FillReport", "DummyFillEngine", "insert_fills"]
+
+logger = logging.getLogger(__name__)
+
+WindowKey = Tuple[int, int]
+
+
+@dataclass
+class FillReport:
+    """Everything the engine learned while filling a layout."""
+
+    initial_plan: DensityPlan
+    final_plan: DensityPlan
+    num_candidates: int
+    num_fills: int
+    sizing: SizingStats
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def summary(self) -> str:
+        stages = ", ".join(
+            f"{name}={secs:.2f}s" for name, secs in self.stage_seconds.items()
+        )
+        return (
+            f"fills={self.num_fills} (from {self.num_candidates} candidates), "
+            f"LP solves={self.sizing.lp_solves}, dropped={self.sizing.dropped_fills}; "
+            f"{stages}"
+        )
+
+
+class DummyFillEngine:
+    """The high-performance fill insertion framework of the paper.
+
+    Construct with a :class:`~repro.core.config.FillConfig` (and
+    optionally the benchmark's :class:`~repro.density.ScoreWeights`,
+    which tune the density planner's objective), then call :meth:`run`
+    on a layout.  The engine mutates the layout by adding fills and
+    returns a :class:`FillReport`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FillConfig] = None,
+        weights: Optional[ScoreWeights] = None,
+    ):
+        self.config = config if config is not None else FillConfig()
+        self.objective = (
+            PlannerObjective.from_score_weights(weights)
+            if weights is not None
+            else PlannerObjective()
+        )
+
+    def run(
+        self,
+        layout: Layout,
+        grid: WindowGrid,
+        windows: Optional[Sequence[WindowKey]] = None,
+    ) -> FillReport:
+        """Execute the Fig. 3 flow; fills are committed to ``layout``.
+
+        ``windows`` restricts candidate generation, sizing and
+        insertion to the given window keys while density analysis and
+        target planning stay global — the incremental mode the ECO
+        flow (:mod:`repro.eco`) uses to re-fill only changed windows.
+        """
+        config = self.config
+        timer = _StageTimer()
+
+        with timer.stage("analysis"):
+            margin = config.effective_margin(layout.rules.min_spacing)
+            analysis = analyze_layout(layout, grid, window_margin=margin)
+
+        with timer.stage("planning"):
+            initial_plan = plan_targets(
+                analysis, self.objective, td_step=config.td_step
+            )
+        logger.info(
+            "planned targets: %s",
+            {n: round(p.td, 3) for n, p in initial_plan.layers.items()},
+        )
+
+        with timer.stage("candidates"):
+            candidates = generate_candidates(
+                layout, grid, initial_plan, analysis, config, windows=windows
+            )
+            num_candidates = sum(
+                len(rects)
+                for per_layer in candidates.values()
+                for rects in per_layer.values()
+            )
+
+        with timer.stage("replanning"):
+            final_plan = self._replan(layout, grid, analysis, candidates)
+            targets = self._target_fill_areas(grid, analysis, final_plan)
+
+        logger.info("generated %d candidate fills", num_candidates)
+
+        with timer.stage("sizing"):
+            sized, stats = size_fills(layout, grid, candidates, targets, config)
+        logger.info(
+            "sizing: %d LP solves, %d fills dropped",
+            stats.lp_solves,
+            stats.dropped_fills,
+        )
+
+        with timer.stage("insertion"):
+            num_fills = 0
+            for per_layer in sized.values():
+                for layer_number, rects in per_layer.items():
+                    layout.layer(layer_number).add_fills(rects)
+                    num_fills += len(rects)
+
+        return FillReport(
+            initial_plan=initial_plan,
+            final_plan=final_plan,
+            num_candidates=num_candidates,
+            num_fills=num_fills,
+            sizing=stats,
+            stage_seconds=timer.seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _replan(
+        self,
+        layout: Layout,
+        grid: WindowGrid,
+        analysis: Mapping[int, LayerDensity],
+        candidates: CandidatePlan,
+    ) -> DensityPlan:
+        """Second planning round with candidate-limited upper bounds.
+
+        A window can deliver its candidates *plus* any fill already
+        committed to it — the latter matters in the window-restricted
+        (ECO) mode, where untouched windows carry their existing fill
+        and must not read as zero-capacity, which would drag the
+        re-planned target below the surrounding density.
+        """
+        from ..density.analysis import fill_density_map
+
+        cand_area = candidate_area_maps(candidates, grid, layout.layer_numbers)
+        window_area = np.zeros((grid.cols, grid.rows))
+        for i, j, _ in grid:
+            window_area[i, j] = grid.window_area(i, j)
+        updated: Dict[int, LayerDensity] = {}
+        for n, ld in analysis.items():
+            existing = (
+                fill_density_map(layout.layer(n), grid)
+                if layout.layer(n).num_fills
+                else 0.0
+            )
+            upper = np.minimum(
+                1.0, ld.lower + existing + cand_area[n] / window_area
+            )
+            updated[n] = LayerDensity(
+                layer_number=n,
+                lower=ld.lower,
+                upper=upper,
+                fill_regions=ld.fill_regions,
+            )
+        return plan_targets(updated, self.objective, td_step=self.config.td_step)
+
+    def _target_fill_areas(
+        self,
+        grid: WindowGrid,
+        analysis: Mapping[int, LayerDensity],
+        plan: DensityPlan,
+    ) -> Dict[WindowKey, Dict[int, float]]:
+        """dt(l)·aw of Eqn. (9b) per window: the fill area to keep."""
+        out: Dict[WindowKey, Dict[int, float]] = {}
+        for i, j, _ in grid:
+            aw = grid.window_area(i, j)
+            out[(i, j)] = {
+                n: max(0.0, float(plan.target(n)[i, j] - analysis[n].lower[i, j]))
+                * aw
+                for n in analysis
+            }
+        return out
+
+
+class _StageTimer:
+    """Tiny context-manager stopwatch for the engine stages."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    def stage(self, name: str) -> "_Stage":
+        return _Stage(self, name)
+
+
+class _Stage:
+    def __init__(self, timer: _StageTimer, name: str):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __exit__(self, *exc) -> None:
+        self._timer.seconds[self._name] = (
+            self._timer.seconds.get(self._name, 0.0)
+            + time.perf_counter()
+            - self._start
+        )
+
+
+def insert_fills(
+    layout: Layout,
+    grid: WindowGrid,
+    config: Optional[FillConfig] = None,
+    weights: Optional[ScoreWeights] = None,
+) -> FillReport:
+    """One-call convenience API: fill ``layout`` in place."""
+    return DummyFillEngine(config, weights).run(layout, grid)

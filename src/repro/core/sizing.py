@@ -1,0 +1,487 @@
+"""Dummy fill sizing (paper §3.3).
+
+Shrinks the candidate fills of each window to minimise
+
+    Σ_l dg(l) + η · Σ_l ov(l, l+1)                     (Eqn. (9a))
+
+under the DRC constraints (min width, min area, min spacing), by the
+paper's relaxation strategy:
+
+* the non-convex problem is split into alternating **horizontal** and
+  **vertical** passes (§3.3.2) — in each pass the orthogonal dimension
+  is frozen, turning the objective into a linear function of the fill
+  edge coordinates,
+* each pass is a differential-constraint LP (Eqn. (14)): variables are
+  the edge coordinates, constraints are the merged width/area rule
+  (Eqn. (12)) and pairwise spacing (Eqn. (13)), bounds are shrink-only
+  trust regions ("variables are bounded to a certain range"),
+* the LP is solved through its dual min-cost flow (§3.3.3) or, for the
+  runtime baseline, scipy's LP solver,
+* the absolute value in dg is removed by sign tracking: while a layer
+  sits above its target the pass shrinks with a step budget sized to
+  land on the target ("reducing the shrinking steps ... in each
+  iteration"); once below, the density term resists further shrinking
+  and only overlay pressure can pay for it.
+
+Fills only ever shrink, so same-layer spacing legality is monotone:
+once the pre-legalisation pass and the spacing constraints have
+resolved the candidate-stage violations, no pass can create new ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..geometry import GridIndex, Rect
+from ..layout import DrcRules, Layout, WindowGrid
+from ..netflow import DifferentialLP, LPInfeasibleError, solve_dual_mcf, solve_linprog
+from .candidates import CandidatePlan
+from .config import FillConfig
+
+__all__ = ["SizingStats", "size_window", "size_fills"]
+
+WindowKey = Tuple[int, int]
+
+
+@dataclass
+class SizingStats:
+    """Bookkeeping of one sizing run (reported by the engine)."""
+
+    lp_solves: int = 0
+    variables: int = 0
+    constraints: int = 0
+    dropped_fills: int = 0
+    windows: int = 0
+
+    def merge(self, other: "SizingStats") -> None:
+        self.lp_solves += other.lp_solves
+        self.variables += other.variables
+        self.constraints += other.constraints
+        self.dropped_fills += other.dropped_fills
+        self.windows += other.windows
+
+
+def _transpose(rect: Rect) -> Rect:
+    """Swap the axes of a rectangle (vertical pass = transposed horizontal)."""
+    return Rect(rect.yl, rect.xl, rect.yh, rect.xh)
+
+
+@dataclass
+class _Fill:
+    """Mutable working copy of one fill during sizing."""
+
+    layer: int
+    rect: Rect
+    alive: bool = True
+
+
+def _solver_fn(solver: str) -> Callable[[DifferentialLP], object]:
+    if solver == "mcf-ssp":
+        return lambda lp: solve_dual_mcf(lp, "ssp")
+    if solver == "mcf-simplex":
+        return lambda lp: solve_dual_mcf(lp, "simplex")
+    if solver == "mcf-costscaling":
+        return lambda lp: solve_dual_mcf(lp, "cost-scaling")
+    if solver == "lp":
+        return solve_linprog
+    raise ValueError(f"unknown solver {solver!r}")
+
+
+# ----------------------------------------------------------------------
+# pre-legalisation: drop fills whose spacing can never be repaired
+# ----------------------------------------------------------------------
+def _achievable_gap_x(a: Rect, b: Rect, rules: DrcRules) -> int:
+    """Largest horizontal gap reachable by shrinking ``a`` and ``b``."""
+    left, right = (a, b) if a.xl <= b.xl else (b, a)
+    min_w_left = rules.min_width_for_height(left.height)
+    min_w_right = rules.min_width_for_height(right.height)
+    return (right.xh - min_w_right) - (left.xl + min_w_left)
+
+
+def _prelegalize(fills: List[_Fill], rules: DrcRules) -> int:
+    """Drop the smaller fill of every unrepairable close pair.
+
+    A pair is unrepairable when neither axis can reach the minimum
+    spacing even if both fills shrink to their minimum legal size.
+    Returns the number of dropped fills.
+    """
+    dropped = 0
+    by_layer: Dict[int, List[_Fill]] = {}
+    for f in fills:
+        by_layer.setdefault(f.layer, []).append(f)
+    for layer_fills in by_layer.values():
+        index: GridIndex[_Fill] = GridIndex(
+            max(64, rules.max_fill_width + rules.min_spacing)
+        )
+        for f in layer_fills:
+            index.insert(f.rect, f)
+        for f in layer_fills:
+            if not f.alive:
+                continue
+            for rect, other in index.query_within(f.rect, rules.min_spacing):
+                if other is f or not other.alive or not f.alive:
+                    continue
+                if f.rect.euclidean_gap(other.rect) >= rules.min_spacing:
+                    continue
+                if f.rect.overlaps(other.rect):
+                    # Same-layer overlap: no pass owns a repair axis for
+                    # it, so resolve it here outright.
+                    victim = f if f.rect.area <= other.rect.area else other
+                    victim.alive = False
+                    dropped += 1
+                    continue
+                gap_x = _achievable_gap_x(f.rect, other.rect, rules)
+                gap_y = _achievable_gap_x(
+                    _transpose(f.rect), _transpose(other.rect), rules
+                )
+                if gap_x < rules.min_spacing and gap_y < rules.min_spacing:
+                    victim = f if f.rect.area <= other.rect.area else other
+                    victim.alive = False
+                    dropped += 1
+    return dropped
+
+
+# ----------------------------------------------------------------------
+# one directional pass (horizontal; the vertical pass transposes)
+# ----------------------------------------------------------------------
+def _overlay_slopes(
+    fill: Rect, neighbors: Sequence[Rect]
+) -> Tuple[int, int]:
+    """Marginal overlay height at the left and right edges of ``fill``.
+
+    The slope at an edge is the total neighbor height whose overlap
+    width would shrink if that edge moved inward — the left derivative,
+    valid for the shrink-only trust region.
+    """
+    slope_left = 0
+    slope_right = 0
+    for s in neighbors:
+        h_ov = min(fill.yh, s.yh) - max(fill.yl, s.yl)
+        if h_ov <= 0:
+            continue
+        w_ov = min(fill.xh, s.xh) - max(fill.xl, s.xl)
+        if w_ov <= 0:
+            continue
+        if fill.xh <= s.xh:
+            slope_right += h_ov
+        if fill.xl >= s.xl:
+            slope_left += h_ov
+    return slope_left, slope_right
+
+
+def _horizontal_pass(
+    fills: List[_Fill],
+    neighbors_of: Mapping[int, Sequence[Rect]],
+    excess_area: Mapping[int, float],
+    layer_height_sum: Mapping[int, int],
+    rules: DrcRules,
+    config: FillConfig,
+    solve: Callable[[DifferentialLP], object],
+    stats: SizingStats,
+) -> None:
+    """One Eqn. (14) pass over the x coordinates of all live fills."""
+    live = [f for f in fills if f.alive]
+    if not live:
+        return
+    step = config.effective_step(rules.max_fill_width, rules.max_fill_height)
+    lp = DifferentialLP()
+    var_lo: List[int] = []
+    var_hi: List[int] = []
+
+    # Per-layer density shrink budget ("reducing the shrinking steps").
+    budget: Dict[int, int] = {}
+    for layer, excess in excess_area.items():
+        if excess > 0:
+            total_h = max(1, layer_height_sum.get(layer, 1))
+            budget[layer] = max(1, min(step, int(-(-excess // total_h))))
+
+    for f in live:
+        r = f.rect
+        h0 = r.height
+        min_w = rules.min_width_for_height(h0)
+        excess = excess_area.get(f.layer, 0.0)
+        sign = 1 if excess > 0 else -1
+        move = budget.get(f.layer, step) if sign > 0 else step
+        sl, sr = _overlay_slopes(r, neighbors_of.get(f.layer, ()))
+        eta = config.eta
+        # Coefficients are doubled and biased by one unit toward keeping
+        # the current size: when the density loss of shrinking exactly
+        # cancels the overlay gain (a fill fully covered by neighbor
+        # metal, s·h0 + η·slope == 0) the LP must not resolve the tie by
+        # shrinking, or covered fills erode to nothing over the passes.
+        c_xl = int(round(2 * (-sign * h0 - eta * sl))) + 1
+        c_xh = int(round(2 * (sign * h0 + eta * sr))) - 1
+        # Shrink-only trust region: xl may move up, xh down, each by at
+        # most `move`, never tighter than the minimum width allows.
+        ub_xl = max(r.xl, min(r.xl + move, r.xh - min_w))
+        lb_xh = min(r.xh, max(r.xh - move, r.xl + min_w))
+        i_xl = lp.add_variable(c_xl, r.xl, ub_xl)
+        i_xh = lp.add_variable(c_xh, lb_xh, r.xh)
+        # Eqn. (12): xh - xl >= max(wm, am/h0).
+        lp.add_constraint(i_xh, i_xl, min_w)
+        var_lo.append(i_xl)
+        var_hi.append(i_xh)
+
+    # Eqn. (13): spacing constraints for close pairs, per layer.
+    by_layer: Dict[int, List[int]] = {}
+    for k, f in enumerate(live):
+        by_layer.setdefault(f.layer, []).append(k)
+    for idxs in by_layer.values():
+        index: GridIndex[int] = GridIndex(
+            max(64, rules.max_fill_width + rules.min_spacing)
+        )
+        for k in idxs:
+            index.insert(live[k].rect, k)
+        seen = set()
+        for k in idxs:
+            fk = live[k].rect
+            for rect, m in index.query_within(fk, rules.min_spacing):
+                if m == k or (min(k, m), max(k, m)) in seen:
+                    continue
+                seen.add((min(k, m), max(k, m)))
+                fm = rect
+                if fk.euclidean_gap(fm) >= rules.min_spacing:
+                    continue
+                # Repair along the axis where the pair does NOT overlap:
+                # a pair stacked with overlapping x-spans separates
+                # naturally in y (the transposed pass), and forcing an
+                # x-separation instead would carve a whole fill width
+                # out of both fills.
+                x_overlap = min(fk.xh, fm.xh) - max(fk.xl, fm.xl)
+                if x_overlap > 0:
+                    continue  # the vertical pass owns this pair
+                if fk.gap_y(fm) > 0 and _achievable_gap_x(fk, fm, rules) < rules.min_spacing:
+                    continue  # diagonal pair, only repairable in y
+                left, right = (k, m) if fk.xl <= fm.xl else (m, k)
+                # x_l(right) - x_h(left) >= sm; widen the trust region of
+                # the two variables so the repair is feasible this pass.
+                need = rules.min_spacing - (live[right].rect.xl - live[left].rect.xh)
+                if need > 0:
+                    _widen_for_repair(
+                        lp, var_hi[left], need, rules, live[left].rect
+                    )
+                    _widen_for_repair_up(
+                        lp, var_lo[right], need, rules, live[right].rect
+                    )
+                lp.add_constraint(var_lo[right], var_hi[left], rules.min_spacing)
+
+    stats.lp_solves += 1
+    stats.variables += lp.num_variables
+    stats.constraints += lp.num_constraints
+    try:
+        solution = solve(lp)
+    except LPInfeasibleError:
+        # Extremely rare residue of diagonal pairs; keep current sizes —
+        # the vertical pass or the final cleanup resolves the conflict.
+        return
+    x = list(solution.x)
+    for k, f in enumerate(live):
+        r = f.rect
+        new = Rect(x[var_lo[k]], r.yl, x[var_hi[k]], r.yh)
+        f.rect = new
+
+
+def _widen_for_repair(
+    lp: DifferentialLP, var_hi: int, need: int, rules: DrcRules, rect: Rect
+) -> None:
+    """Lower the trust bound of a left fill's right edge by ``need``."""
+    min_w = rules.min_width_for_height(rect.height)
+    lp.lowers[var_hi] = min(lp.lowers[var_hi], max(rect.xl + min_w, rect.xh - need))
+
+
+def _widen_for_repair_up(
+    lp: DifferentialLP, var_lo: int, need: int, rules: DrcRules, rect: Rect
+) -> None:
+    """Raise the trust bound of a right fill's left edge by ``need``."""
+    min_w = rules.min_width_for_height(rect.height)
+    lp.uppers[var_lo] = max(lp.uppers[var_lo], min(rect.xh - min_w, rect.xl + need))
+
+
+# ----------------------------------------------------------------------
+# window-level driver
+# ----------------------------------------------------------------------
+def size_window(
+    window: Rect,
+    candidates: Mapping[int, Sequence[Rect]],
+    wires_nearby: Mapping[int, Sequence[Rect]],
+    target_fill_area: Mapping[int, float],
+    rules: DrcRules,
+    config: Optional[FillConfig] = None,
+) -> Tuple[Dict[int, List[Rect]], SizingStats]:
+    """Size the candidate fills of one window (Eqn. (9) relaxation).
+
+    ``wires_nearby`` maps each layer to its wire rectangles clipped
+    around the window (used for cross-layer overlay);
+    ``target_fill_area`` maps each layer to the fill area (dbu²) the
+    density plan asks of this window — ``dt(l) · aw`` of Eqn. (9b).
+    Returns the final fills per layer plus solver statistics.
+    """
+    if config is None:
+        config = FillConfig()
+    stats = SizingStats(windows=1)
+    fills: List[_Fill] = [
+        _Fill(layer, rect)
+        for layer, rects in sorted(candidates.items())
+        for rect in rects
+    ]
+    stats.dropped_fills += _prelegalize(fills, rules)
+    solve = _solver_fn(config.solver)
+    layer_numbers = sorted(candidates.keys())
+
+    for _ in range(config.sizing_iterations):
+        for axis in ("x", "y"):
+            live = [f for f in fills if f.alive]
+            if not live:
+                break
+            if axis == "y":
+                for f in live:
+                    f.rect = _transpose(f.rect)
+            # Cross-layer neighbor metal, frozen for this pass.  Each
+            # Eqn. (9c) overlay term ov(l, l+1) must be priced exactly
+            # once: fill-vs-wire overlay is charged to the fill's own
+            # layer, while fill-vs-fill overlay is charged to the even
+            # layer of the pair only (the layer whose candidates Alg. 1
+            # chose against the odd layers).  Charging both sides would
+            # double η and make stacked layers shrink-chase each other.
+            neighbors_of: Dict[int, List[Rect]] = {}
+            for l in layer_numbers:
+                shapes: List[Rect] = []
+                for adj in (l - 1, l + 1):
+                    if adj in candidates or adj in wires_nearby:
+                        wires = wires_nearby.get(adj, ())
+                        if axis == "y":
+                            shapes.extend(_transpose(w) for w in wires)
+                        else:
+                            shapes.extend(wires)
+                        if l % 2 == 0:
+                            shapes.extend(
+                                f.rect for f in live if f.layer == adj
+                            )
+                neighbors_of[l] = shapes
+            excess: Dict[int, float] = {}
+            height_sum: Dict[int, int] = {}
+            for l in layer_numbers:
+                area = sum(f.rect.area for f in live if f.layer == l)
+                excess[l] = area - float(target_fill_area.get(l, 0.0))
+                height_sum[l] = sum(
+                    2 * f.rect.height for f in live if f.layer == l
+                )
+            _horizontal_pass(
+                fills, neighbors_of, excess, height_sum, rules, config, solve, stats
+            )
+            if axis == "y":
+                for f in fills:
+                    if f.alive:
+                        f.rect = _transpose(f.rect)
+
+    # Post-sizing cull: where a layer still exceeds its target (the λ
+    # over-generation margin of Alg. 1), deleting whole small fills both
+    # closes the density gap and removes GDSII boundary records — the
+    # file-size objective of Eqn. (3) at zero density cost.
+    for l in layer_numbers:
+        live = sorted(
+            (f for f in fills if f.alive and f.layer == l),
+            key=lambda f: f.rect.area,
+        )
+        excess = sum(f.rect.area for f in live) - float(
+            target_fill_area.get(l, 0.0)
+        )
+        for f in live:
+            if f.rect.area > excess:
+                break
+            f.alive = False
+            excess -= f.rect.area
+            stats.dropped_fills += 1
+
+    # Final cleanup: defensive legality filter, then a spacing sweep
+    # that drops the smaller fill of any pair the passes left
+    # unresolved (possible only for diagonal pairs neither axis could
+    # repair within the iteration budget).
+    for f in fills:
+        if f.alive and not rules.is_legal_fill(f.rect):
+            f.alive = False
+            stats.dropped_fills += 1
+    stats.dropped_fills += _prelegalize_strict(fills, rules)
+    result: Dict[int, List[Rect]] = {l: [] for l in layer_numbers}
+    for f in fills:
+        if f.alive:
+            result[f.layer].append(f.rect)
+    return result, stats
+
+
+def _prelegalize_strict(fills: List[_Fill], rules: DrcRules) -> int:
+    """Drop the smaller fill of every remaining close pair."""
+    dropped = 0
+    by_layer: Dict[int, List[_Fill]] = {}
+    for f in fills:
+        if f.alive:
+            by_layer.setdefault(f.layer, []).append(f)
+    for layer_fills in by_layer.values():
+        index: GridIndex[_Fill] = GridIndex(
+            max(64, rules.max_fill_width + rules.min_spacing)
+        )
+        for f in layer_fills:
+            index.insert(f.rect, f)
+        for f in layer_fills:
+            if not f.alive:
+                continue
+            for rect, other in index.query_within(f.rect, rules.min_spacing):
+                if other is f or not other.alive or not f.alive:
+                    continue
+                if f.rect.euclidean_gap(other.rect) < rules.min_spacing:
+                    victim = f if f.rect.area <= other.rect.area else other
+                    victim.alive = False
+                    dropped += 1
+    return dropped
+
+
+def size_fills(
+    layout: Layout,
+    grid: WindowGrid,
+    candidates: CandidatePlan,
+    target_fill_area: Mapping[WindowKey, Mapping[int, float]],
+    config: Optional[FillConfig] = None,
+) -> Tuple[Dict[WindowKey, Dict[int, List[Rect]]], SizingStats]:
+    """Size candidates across all windows of a layout.
+
+    Windows are independent problems (the paper sizes per window),
+    processed in deterministic order.
+    """
+    if config is None:
+        config = FillConfig()
+    rules = layout.rules
+    margin = rules.min_spacing + config.effective_step(
+        rules.max_fill_width, rules.max_fill_height
+    )
+    total = SizingStats()
+    result: Dict[WindowKey, Dict[int, List[Rect]]] = {}
+
+    wire_indexes: Dict[int, GridIndex[int]] = {}
+    for layer in layout.layers:
+        idx: GridIndex[int] = GridIndex(max(64, min(layout.die.width, layout.die.height) // 16))
+        for k, w in enumerate(layer.wires):
+            idx.insert(w, k)
+        wire_indexes[layer.number] = idx
+
+    for i, j, window in grid:
+        key = (i, j)
+        cands = candidates.get(key, {})
+        if not any(cands.values()):
+            result[key] = {l: [] for l in cands}
+            continue
+        wires_nearby = {
+            n: [r for r, _ in wire_indexes[n].query_within(window, margin)]
+            for n in layout.layer_numbers
+        }
+        sized, stats = size_window(
+            window,
+            cands,
+            wires_nearby,
+            target_fill_area.get(key, {}),
+            rules,
+            config,
+        )
+        result[key] = sized
+        total.merge(stats)
+    return result, total

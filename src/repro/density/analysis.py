@@ -1,0 +1,218 @@
+"""Density analysis: window density maps, fill regions, density bounds.
+
+This is the "density analysis" phase of the classic two-phase flow the
+paper builds on (§1): collect wire density and available fill regions
+per window, from which the planner (§3.1) derives per-window density
+bounds ``l(i, j)`` (existing wire density) and ``u(i, j)`` (wire density
+plus everything the free space could hold).
+
+All maps are numpy arrays of shape ``(cols, rows)`` indexed ``[i, j]``
+with ``i`` the column, matching Eqn. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import GridIndex, Rect, RectSet, rect_set_subtract
+from ..layout import DrcRules, Layer, Layout, WindowGrid
+
+__all__ = [
+    "wire_density_map",
+    "fill_density_map",
+    "metal_density_map",
+    "compute_fill_regions",
+    "usable_fill_area",
+    "LayerDensity",
+    "analyze_layer",
+    "analyze_layout",
+    "overlay_area",
+    "fill_overlay_area",
+]
+
+
+def _shape_index(shapes: Sequence[Rect], die: Rect) -> GridIndex[int]:
+    cell = max(64, min(die.width, die.height) // 16)
+    index: GridIndex[int] = GridIndex(cell)
+    for k, s in enumerate(shapes):
+        index.insert(s, k)
+    return index
+
+
+def _area_map(shapes: Sequence[Rect], grid: WindowGrid, *, exact_union: bool) -> np.ndarray:
+    """Per-window covered area of ``shapes``.
+
+    ``exact_union=True`` de-duplicates overlapping shapes (needed for
+    wires, which may overlap at connections); fills are disjoint by
+    construction so a plain clipped sum suffices.
+    """
+    areas = np.zeros((grid.cols, grid.rows), dtype=np.int64)
+    index = _shape_index(shapes, grid.die)
+    for i, j, win in grid:
+        hits = index.query_overlapping(win)
+        if not hits:
+            continue
+        if exact_union:
+            clipped = [r.intersection(win) for r, _ in hits]
+            areas[i, j] = RectSet(c for c in clipped if c is not None).area
+        else:
+            areas[i, j] = sum(r.intersection_area(win) for r, _ in hits)
+    return areas
+
+
+def wire_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+    """Wire density ``d_w(i, j)`` per window — the lower bound l(i, j)."""
+    areas = _area_map(layer.wires, grid, exact_union=True)
+    return _to_density(areas, grid)
+
+
+def fill_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+    """Dummy-fill density per window."""
+    areas = _area_map(layer.fills, grid, exact_union=False)
+    return _to_density(areas, grid)
+
+
+def metal_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+    """Total layout density d(i, j): wires plus fills."""
+    areas = _area_map(layer.shapes, grid, exact_union=True)
+    return _to_density(areas, grid)
+
+
+def _to_density(areas: np.ndarray, grid: WindowGrid) -> np.ndarray:
+    out = np.zeros_like(areas, dtype=np.float64)
+    for i in range(grid.cols):
+        for j in range(grid.rows):
+            out[i, j] = areas[i, j] / grid.window_area(i, j)
+    return out
+
+
+def compute_fill_regions(
+    layer: Layer,
+    grid: WindowGrid,
+    rules: DrcRules,
+    blockages: Optional[Sequence[Rect]] = None,
+    window_margin: int = 0,
+) -> Dict[Tuple[int, int], List[Rect]]:
+    """Feasible fill region per window: free space at legal spacing.
+
+    The fill region of a window is the window minus every wire (and
+    explicit blockage) bloated by the minimum spacing ``sm`` — exactly
+    the space where a fill may legally sit.  Returned as disjoint
+    rectangles per window.
+
+    ``window_margin`` additionally insets each window edge; the engine
+    passes ``ceil(sm / 2)`` so that fills generated independently in
+    adjacent windows still respect the spacing rule across the window
+    boundary.
+    """
+    regions: Dict[Tuple[int, int], List[Rect]] = {}
+    obstacles = list(layer.wires) + (list(blockages) if blockages else [])
+    index = _shape_index(obstacles, grid.die)
+    margin = rules.min_spacing
+    for i, j, win in grid:
+        inner = win.shrunk(window_margin) if window_margin else win
+        if inner is None:
+            regions[(i, j)] = []
+            continue
+        nearby = index.query_within(inner, margin)
+        bloated = [r.expanded(margin) for r, _ in nearby]
+        regions[(i, j)] = rect_set_subtract([inner], bloated)
+    return regions
+
+
+def usable_fill_area(region: Sequence[Rect], rules: DrcRules) -> int:
+    """Area of the region pieces a legal fill could actually occupy.
+
+    Rectangles narrower than the minimum width in either dimension can
+    never host a DRC-clean fill, so the density upper bound must not
+    count them.
+    """
+    return sum(
+        r.area
+        for r in region
+        if r.width >= rules.min_width
+        and r.height >= rules.min_width
+        and r.area >= rules.min_area
+    )
+
+
+@dataclass
+class LayerDensity:
+    """Density-analysis product for one layer.
+
+    ``lower`` is ``l(i, j)`` (wire density) and ``upper`` is ``u(i, j)``
+    (wire density plus usable free space) — the bounds that drive target
+    density planning (§3.1, Eqn. (5)).
+    """
+
+    layer_number: int
+    lower: np.ndarray
+    upper: np.ndarray
+    fill_regions: Dict[Tuple[int, int], List[Rect]]
+
+    @property
+    def max_lower(self) -> float:
+        """max l(k, n) over all windows — the Case I target (Eqn. (6))."""
+        return float(self.lower.max())
+
+    @property
+    def min_upper(self) -> float:
+        """min u(k, n) over all windows — Case II search ceiling."""
+        return float(self.upper.min())
+
+    @property
+    def has_constrained_window(self) -> bool:
+        """True when some window cannot reach max l(k, n) — Eqn. (7)."""
+        return bool((self.upper < self.max_lower - 1e-12).any())
+
+
+def analyze_layer(
+    layer: Layer, grid: WindowGrid, rules: DrcRules, window_margin: int = 0
+) -> LayerDensity:
+    """Run density analysis for one layer."""
+    lower = wire_density_map(layer, grid)
+    regions = compute_fill_regions(layer, grid, rules, window_margin=window_margin)
+    upper = lower.copy()
+    for (i, j), region in regions.items():
+        win_area = grid.window_area(i, j)
+        upper[i, j] = min(
+            1.0, lower[i, j] + usable_fill_area(region, rules) / win_area
+        )
+    return LayerDensity(layer.number, lower, upper, regions)
+
+
+def analyze_layout(
+    layout: Layout, grid: WindowGrid, window_margin: int = 0
+) -> Dict[int, LayerDensity]:
+    """Density analysis for every layer of a layout."""
+    return {
+        layer.number: analyze_layer(layer, grid, layout.rules, window_margin)
+        for layer in layout.layers
+    }
+
+
+def overlay_area(lower: Layer, upper: Layer) -> int:
+    """Fill-induced overlay between two adjacent layers (§2.1).
+
+    Counts the overlap between each layer's *fills* and the other
+    layer's full metal (wires and fills); the fill-fill overlap region
+    is common to both terms and must not be double counted.
+    """
+    from ..geometry import intersection_area
+
+    lo_fills, hi_fills = lower.fills, upper.fills
+    fills_vs_wires = intersection_area(lo_fills, upper.wires)
+    wires_vs_fills = intersection_area(lower.wires, hi_fills)
+    fills_vs_fills = intersection_area(lo_fills, hi_fills)
+    return fills_vs_wires + wires_vs_fills + fills_vs_fills
+
+
+def fill_overlay_area(layout: Layout) -> Dict[Tuple[int, int], int]:
+    """Overlay per adjacent layer pair for a whole layout."""
+    out: Dict[Tuple[int, int], int] = {}
+    for lo, hi in layout.adjacent_pairs():
+        out[(lo.number, hi.number)] = overlay_area(lo, hi)
+    return out

@@ -1,0 +1,91 @@
+"""Density-uniformity metrics: variation, line hotspots, outlier hotspots.
+
+Implements the three density scores of paper §2.2 on a window density
+map ``d`` of shape ``(N columns, M rows)``:
+
+* **variation** ``σ`` — standard deviation of window densities (population
+  std over all N·M windows),
+* **line hotspots** ``lh`` — Eqn. (1): sum over columns of the absolute
+  deviation of each window from its column mean,
+* **outlier hotspots** ``oh`` — Eqn. (2): sum of deviations beyond the
+  3σ band around the layout mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "variation",
+    "line_hotspots",
+    "outlier_hotspots",
+    "DensityMetrics",
+    "compute_metrics",
+]
+
+
+def _as_map(density: np.ndarray) -> np.ndarray:
+    d = np.asarray(density, dtype=np.float64)
+    if d.ndim != 2:
+        raise ValueError("density map must be a 2-D (cols x rows) array")
+    if d.size == 0:
+        raise ValueError("density map must be non-empty")
+    return d
+
+
+def variation(density: np.ndarray) -> float:
+    """σ — population standard deviation of window densities."""
+    return float(np.std(_as_map(density)))
+
+
+def line_hotspots(density: np.ndarray) -> float:
+    """lh — Eqn. (1): column-wise absolute deviation sum.
+
+    For each column ``i`` the deviation of every window from that
+    column's mean is accumulated; columns with a density gradient along
+    the row axis (CMP "lines") score high.
+    """
+    d = _as_map(density)
+    col_means = d.mean(axis=1, keepdims=True)
+    return float(np.abs(d - col_means).sum())
+
+
+def outlier_hotspots(density: np.ndarray) -> float:
+    """oh — Eqn. (2): total deviation beyond the 3σ band.
+
+    ``max(0, |d(i,j) - mean| - 3σ)`` summed over all windows; non-zero
+    only for windows whose density is an extreme outlier.
+    """
+    d = _as_map(density)
+    mean = d.mean()
+    sigma = d.std()
+    return float(np.maximum(0.0, np.abs(d - mean) - 3.0 * sigma).sum())
+
+
+@dataclass(frozen=True)
+class DensityMetrics:
+    """The three uniformity metrics for one density map."""
+
+    sigma: float
+    line: float
+    outlier: float
+    mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"sigma={self.sigma:.6f} line={self.line:.4f} "
+            f"outlier={self.outlier:.6f} mean={self.mean:.4f}"
+        )
+
+
+def compute_metrics(density: np.ndarray) -> DensityMetrics:
+    """All three metrics (plus the mean) in one pass."""
+    d = _as_map(density)
+    return DensityMetrics(
+        sigma=variation(d),
+        line=line_hotspots(d),
+        outlier=outlier_hotspots(d),
+        mean=float(d.mean()),
+    )

@@ -1,0 +1,211 @@
+"""ICCAD 2014 contest scoring (paper §2.3 and §4).
+
+Implements the combined objective of Eqn. (3):
+
+    score = α_ov·s_ov + α_σ·s_σ + α_lh·s_lh + α_oh·s_oh + α_fs·s_fs
+            (+ α_rt·s_rt + α_mem·s_mem for the full testcase score)
+
+with every component scored by Eqn. (4):  f(x) = max(0, 1 − x/β).
+
+Raw component values follow the paper exactly:
+
+* overlay   — Σ over adjacent layer pairs of fill overlay area,
+* variation — Σ over layers of σ(l),
+* line      — Σ over layers of lh(l),
+* outlier   — (Σ_l σ(l)) · (Σ_l oh(l))   (the product form in Eqn. (3)),
+* file size — bytes of the output GDSII,
+* runtime / memory — wall seconds and peak MB (testcase score only).
+
+**Testcase Quality** is the weighted sum of the first five (solution
+quality); **Testcase Score** additionally includes runtime and memory —
+the two right-most columns of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from ..layout import Layout, WindowGrid
+from .analysis import fill_overlay_area, metal_density_map
+from .metrics import compute_metrics
+
+__all__ = [
+    "ScoreWeights",
+    "RawComponents",
+    "ScoreCard",
+    "component_score",
+    "measure_raw_components",
+    "score_layout",
+]
+
+
+def component_score(x: float, beta: float) -> float:
+    """Eqn. (4): f(x) = max(0, 1 − x/β)."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return max(0.0, 1.0 - x / beta)
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """α and β coefficients for one benchmark (one row of Table 2).
+
+    The default α values are the contest weights shared by all three
+    benchmarks; β values are benchmark-specific and must be supplied.
+    """
+
+    beta_overlay: float
+    beta_variation: float
+    beta_line: float
+    beta_outlier: float
+    beta_size: float
+    beta_runtime: float
+    beta_memory: float
+    alpha_overlay: float = 0.2
+    alpha_variation: float = 0.2
+    alpha_line: float = 0.2
+    alpha_outlier: float = 0.15
+    alpha_size: float = 0.05
+    alpha_runtime: float = 0.15
+    alpha_memory: float = 0.05
+
+    @property
+    def quality_weight(self) -> float:
+        """Total α mass of the five quality components."""
+        return (
+            self.alpha_overlay
+            + self.alpha_variation
+            + self.alpha_line
+            + self.alpha_outlier
+            + self.alpha_size
+        )
+
+
+@dataclass(frozen=True)
+class RawComponents:
+    """Raw (unnormalised) values entering Eqn. (4)."""
+
+    overlay: float
+    variation: float
+    line: float
+    outlier: float
+    file_size: float = 0.0
+    runtime: float = 0.0
+    memory: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScoreCard:
+    """Per-component scores plus the Table 3 aggregates."""
+
+    weights: ScoreWeights
+    raw: RawComponents
+    overlay: float
+    variation: float
+    line: float
+    outlier: float
+    size: float
+    runtime: float
+    memory: float
+
+    @property
+    def quality(self) -> float:
+        """Testcase Quality: weighted sum excluding runtime and memory."""
+        w = self.weights
+        return (
+            w.alpha_overlay * self.overlay
+            + w.alpha_variation * self.variation
+            + w.alpha_line * self.line
+            + w.alpha_outlier * self.outlier
+            + w.alpha_size * self.size
+        )
+
+    @property
+    def total(self) -> float:
+        """Testcase Score: quality plus runtime and memory terms."""
+        w = self.weights
+        return (
+            self.quality
+            + w.alpha_runtime * self.runtime
+            + w.alpha_memory * self.memory
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict in Table 3 column order."""
+        return {
+            "overlay": self.overlay,
+            "variation": self.variation,
+            "line": self.line,
+            "outlier": self.outlier,
+            "size": self.size,
+            "runtime": self.runtime,
+            "memory": self.memory,
+            "quality": self.quality,
+            "score": self.total,
+        }
+
+    def __str__(self) -> str:
+        row = self.as_row()
+        cells = " ".join(f"{k}={v:.3f}" for k, v in row.items())
+        return f"ScoreCard({cells})"
+
+
+def measure_raw_components(layout: Layout, grid: WindowGrid) -> RawComponents:
+    """Measure overlay/variation/line/outlier on a (filled) layout.
+
+    Density metrics are computed on the *total* metal density (wires
+    plus fills) per layer; overlay sums the fill overlay of every
+    adjacent layer pair (§2.1).
+    """
+    total_overlay = float(sum(fill_overlay_area(layout).values()))
+    sigma_sum = 0.0
+    line_sum = 0.0
+    outlier_sum = 0.0
+    for layer in layout.layers:
+        metrics = compute_metrics(metal_density_map(layer, grid))
+        sigma_sum += metrics.sigma
+        line_sum += metrics.line
+        outlier_sum += metrics.outlier
+    return RawComponents(
+        overlay=total_overlay,
+        variation=sigma_sum,
+        line=line_sum,
+        # Eqn. (3): s_oh = f_oh( Σσ(l) · Σoh(l) )
+        outlier=sigma_sum * outlier_sum,
+    )
+
+
+def score_layout(
+    layout: Layout,
+    grid: WindowGrid,
+    weights: ScoreWeights,
+    *,
+    file_size: float = 0.0,
+    runtime: float = 0.0,
+    memory: float = 0.0,
+) -> ScoreCard:
+    """Full Eqn. (3) score card for a filled layout.
+
+    ``file_size`` is in the same unit as ``beta_size`` (the contest uses
+    megabytes), ``runtime`` in seconds, ``memory`` in MB.
+    """
+    raw = replace(
+        measure_raw_components(layout, grid),
+        file_size=file_size,
+        runtime=runtime,
+        memory=memory,
+    )
+    return ScoreCard(
+        weights=weights,
+        raw=raw,
+        overlay=component_score(raw.overlay, weights.beta_overlay),
+        variation=component_score(raw.variation, weights.beta_variation),
+        line=component_score(raw.line, weights.beta_line),
+        outlier=component_score(raw.outlier, weights.beta_outlier),
+        size=component_score(raw.file_size, weights.beta_size),
+        runtime=component_score(raw.runtime, weights.beta_runtime),
+        memory=component_score(raw.memory, weights.beta_memory),
+    )

@@ -1,0 +1,38 @@
+"""GDSII binary stream I/O (the contest's exchange format, §2.3)."""
+
+from .filesize import (
+    BYTES_PER_BOUNDARY,
+    HEADER_OVERHEAD_BYTES,
+    file_size_mb,
+    measure_file_size,
+    predict_fill_bytes,
+)
+from .reader import GdsiiLibrary, layout_from_gdsii, read_gdsii
+from .records import DataType, RecordType, decode_real8, encode_real8
+from .writer import (
+    DIE_LAYER,
+    FILL_DATATYPE,
+    WIRE_DATATYPE,
+    gdsii_bytes,
+    write_gdsii,
+)
+
+__all__ = [
+    "BYTES_PER_BOUNDARY",
+    "HEADER_OVERHEAD_BYTES",
+    "file_size_mb",
+    "measure_file_size",
+    "predict_fill_bytes",
+    "GdsiiLibrary",
+    "layout_from_gdsii",
+    "read_gdsii",
+    "DataType",
+    "RecordType",
+    "decode_real8",
+    "encode_real8",
+    "DIE_LAYER",
+    "FILL_DATATYPE",
+    "WIRE_DATATYPE",
+    "gdsii_bytes",
+    "write_gdsii",
+]

@@ -1,0 +1,191 @@
+"""GDSII reader: rebuild a :class:`~repro.layout.Layout` from a stream.
+
+Parses the record subset the writer emits (plus tolerant skipping of
+unknown elements) and reconstructs layers, wires and fills.  Rectangle
+boundaries are recognised directly; non-rectangular rectilinear
+boundaries are decomposed through Gourley–Green, mirroring the
+"convert polygons to rectangles" front end of the paper's flow (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Rect, RectilinearPolygon, bounding_box, polygon_to_rects
+from ..layout import DrcRules, Layout
+from .records import (
+    DataType,
+    RecordType,
+    decode_ascii,
+    decode_int2,
+    decode_int4,
+    decode_real8,
+    iter_records,
+)
+from .writer import DIE_LAYER, FILL_DATATYPE, WIRE_DATATYPE
+
+__all__ = ["GdsiiLibrary", "read_gdsii", "layout_from_gdsii"]
+
+
+@dataclass
+class GdsiiLibrary:
+    """Raw parse result: library metadata plus boundaries per (layer, datatype)."""
+
+    name: str = ""
+    user_unit: float = 1e-3
+    db_unit_meters: float = 1e-9
+    structure_names: List[str] = field(default_factory=list)
+    boundaries: Dict[Tuple[int, int], List[List[Tuple[int, int]]]] = field(
+        default_factory=dict
+    )
+
+    def rects(self, layer: int, datatype: int) -> List[Rect]:
+        """All boundaries on (layer, datatype) as rectangles.
+
+        Rectangular loops convert directly; other rectilinear loops are
+        decomposed with Gourley–Green.
+        """
+        out: List[Rect] = []
+        for loop in self.boundaries.get((layer, datatype), []):
+            rect = _loop_as_rect(loop)
+            if rect is not None:
+                out.append(rect)
+            else:
+                out.extend(polygon_to_rects(RectilinearPolygon(loop)))
+        return out
+
+    @property
+    def layer_numbers(self) -> List[int]:
+        return sorted({layer for layer, _ in self.boundaries if layer != DIE_LAYER})
+
+
+def _loop_as_rect(loop: List[Tuple[int, int]]) -> Optional[Rect]:
+    points = list(loop)
+    if len(points) >= 2 and points[0] == points[-1]:
+        points = points[:-1]
+    if len(points) != 4:
+        return None
+    xs = sorted({p[0] for p in points})
+    ys = sorted({p[1] for p in points})
+    if len(xs) != 2 or len(ys) != 2:
+        return None
+    expected = {(xs[0], ys[0]), (xs[1], ys[0]), (xs[1], ys[1]), (xs[0], ys[1])}
+    if set(points) != expected:
+        return None
+    return Rect(xs[0], ys[0], xs[1], ys[1])
+
+
+def _path_to_loops(
+    points: List[Tuple[int, int]], width: int
+) -> List[List[Tuple[int, int]]]:
+    """Expand a Manhattan PATH centreline into rectangle loops.
+
+    Each axis-parallel segment becomes one rectangle of the path width
+    (square-ended, the GDSII pathtype-2 convention rounded to the
+    Manhattan case); diagonal segments are rejected.
+    """
+    half = width // 2
+    if half <= 0:
+        raise ValueError(f"PATH width {width} too small to expand")
+    loops: List[List[Tuple[int, int]]] = []
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 == x1:
+            ylo, yhi = min(y0, y1), max(y0, y1)
+            rect = Rect(x0 - half, ylo - half, x0 + half, yhi + half)
+        elif y0 == y1:
+            xlo, xhi = min(x0, x1), max(x0, x1)
+            rect = Rect(xlo - half, y0 - half, xhi + half, y0 + half)
+        else:
+            raise ValueError(
+                f"non-Manhattan PATH segment ({x0},{y0})->({x1},{y1})"
+            )
+        loops.append(list(rect.corners()))
+    return loops
+
+
+def read_gdsii(data: bytes) -> GdsiiLibrary:
+    """Parse a GDSII byte stream into a :class:`GdsiiLibrary`.
+
+    Handles BOUNDARY elements (what the writer emits) and Manhattan
+    PATH elements (common in industrial inputs), which are expanded to
+    per-segment rectangles.  Unknown element types are skipped.
+    """
+    lib = GdsiiLibrary()
+    element_layer: Optional[int] = None
+    element_datatype: Optional[int] = None
+    element_xy: Optional[List[int]] = None
+    element_width = 0
+    element_kind: Optional[str] = None
+    for rec_type, data_type, payload in iter_records(data):
+        if rec_type == RecordType.LIBNAME:
+            lib.name = decode_ascii(payload)
+        elif rec_type == RecordType.UNITS:
+            lib.user_unit = decode_real8(payload[:8])
+            lib.db_unit_meters = decode_real8(payload[8:])
+        elif rec_type == RecordType.STRNAME:
+            lib.structure_names.append(decode_ascii(payload))
+        elif rec_type == RecordType.BOUNDARY:
+            element_kind = "boundary"
+            element_layer = element_datatype = element_xy = None
+        elif rec_type == RecordType.PATH:
+            element_kind = "path"
+            element_layer = element_datatype = element_xy = None
+            element_width = 0
+        elif rec_type == RecordType.LAYER and element_kind:
+            element_layer = decode_int2(payload)[0]
+        elif rec_type == RecordType.DATATYPE and element_kind:
+            element_datatype = decode_int2(payload)[0]
+        elif rec_type == RecordType.WIDTH and element_kind == "path":
+            element_width = decode_int4(payload)[0]
+        elif rec_type == RecordType.XY and element_kind:
+            element_xy = decode_int4(payload)
+        elif rec_type == RecordType.ENDEL:
+            if element_kind == "boundary":
+                if element_layer is None or element_datatype is None or not element_xy:
+                    raise ValueError("BOUNDARY element missing LAYER/DATATYPE/XY")
+                loop = list(zip(element_xy[0::2], element_xy[1::2]))
+                lib.boundaries.setdefault(
+                    (element_layer, element_datatype), []
+                ).append(loop)
+            elif element_kind == "path":
+                if element_layer is None or element_datatype is None or not element_xy:
+                    raise ValueError("PATH element missing LAYER/DATATYPE/XY")
+                points = list(zip(element_xy[0::2], element_xy[1::2]))
+                for loop in _path_to_loops(points, element_width):
+                    lib.boundaries.setdefault(
+                        (element_layer, element_datatype), []
+                    ).append(loop)
+            element_kind = None
+    return lib
+
+
+def layout_from_gdsii(
+    data: bytes, rules: Optional[DrcRules] = None
+) -> Layout:
+    """Reconstruct a :class:`Layout` from GDSII bytes.
+
+    The die is taken from the reserved outline boundary on
+    :data:`~repro.gdsii.writer.DIE_LAYER` when present, otherwise from
+    the bounding box of all geometry.
+    """
+    lib = read_gdsii(data)
+    die_rects = lib.rects(DIE_LAYER, WIRE_DATATYPE)
+    if die_rects:
+        die = die_rects[0]
+    else:
+        everything = [
+            r
+            for key in lib.boundaries
+            for r in lib.rects(*key)
+        ]
+        die = bounding_box(everything)
+        if die is None:
+            raise ValueError("GDSII stream contains no geometry")
+    layers = lib.layer_numbers
+    num_layers = max(layers) if layers else 1
+    layout = Layout(die, num_layers, rules, name=lib.name or "gdsii")
+    for number in layers:
+        layout.layer(number).add_wires(lib.rects(number, WIRE_DATATYPE))
+        layout.layer(number).add_fills(lib.rects(number, FILL_DATATYPE))
+    return layout

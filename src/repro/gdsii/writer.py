@@ -1,0 +1,116 @@
+"""GDSII writer for filled layouts.
+
+Emits a single-structure GDSII library containing every wire and fill
+of a :class:`~repro.layout.Layout` as BOUNDARY elements.  Wires carry
+GDSII datatype 0 and dummy fills datatype 1 — the convention the
+ICCAD 2014 contest used to let the evaluator separate signal geometry
+from inserted fill.
+
+The byte count of the emitted stream is the raw input to the contest
+file-size score s_fs (Eqn. (3)); the paper's observation that
+*fewer, larger* fills shrink the output file is directly visible here,
+since every fill costs one fixed-size BOUNDARY element.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO
+
+from ..geometry import Rect
+from ..layout import Layout
+from .records import DataType, RecordType, encode_ascii, encode_int2, encode_int4, encode_real8, pack_record
+
+__all__ = ["write_gdsii", "gdsii_bytes", "WIRE_DATATYPE", "FILL_DATATYPE", "DIE_LAYER"]
+
+WIRE_DATATYPE = 0
+FILL_DATATYPE = 1
+#: The die outline is stored as a boundary on this reserved layer so a
+#: round-trip through GDSII preserves the window dissection frame.
+DIE_LAYER = 0
+
+# Fixed timestamp: deterministic output so file-size scores and the
+# byte-identity round-trip tests are reproducible.
+_TIMESTAMP = (2014, 11, 1, 0, 0, 0)
+
+
+def _boundary(stream: BinaryIO, layer: int, datatype: int, rect: Rect) -> None:
+    stream.write(pack_record(RecordType.BOUNDARY, DataType.NO_DATA))
+    stream.write(
+        pack_record(RecordType.LAYER, DataType.INT2, encode_int2([layer]))
+    )
+    stream.write(
+        pack_record(RecordType.DATATYPE, DataType.INT2, encode_int2([datatype]))
+    )
+    # A rectangle boundary: 5 points, closed loop, counter-clockwise.
+    xy = [
+        rect.xl, rect.yl,
+        rect.xh, rect.yl,
+        rect.xh, rect.yh,
+        rect.xl, rect.yh,
+        rect.xl, rect.yl,
+    ]
+    stream.write(pack_record(RecordType.XY, DataType.INT4, encode_int4(xy)))
+    stream.write(pack_record(RecordType.ENDEL, DataType.NO_DATA))
+
+
+def write_gdsii(
+    layout: Layout,
+    stream: BinaryIO,
+    *,
+    library_name: str = "FILL",
+    structure_name: str = "TOP",
+    user_unit: float = 1e-3,
+    db_unit_meters: float = 1e-9,
+    include_wires: bool = True,
+) -> int:
+    """Serialise ``layout`` as GDSII; returns the number of bytes written.
+
+    ``include_wires=False`` emits a fill-only file, matching contest
+    submissions where only inserted geometry is returned.
+    """
+    start = stream.tell() if stream.seekable() else 0
+    stream.write(
+        pack_record(RecordType.HEADER, DataType.INT2, encode_int2([600]))
+    )
+    stream.write(
+        pack_record(
+            RecordType.BGNLIB, DataType.INT2, encode_int2(list(_TIMESTAMP * 2))
+        )
+    )
+    stream.write(
+        pack_record(RecordType.LIBNAME, DataType.ASCII, encode_ascii(library_name))
+    )
+    stream.write(
+        pack_record(
+            RecordType.UNITS,
+            DataType.REAL8,
+            encode_real8(user_unit) + encode_real8(db_unit_meters),
+        )
+    )
+    stream.write(
+        pack_record(
+            RecordType.BGNSTR, DataType.INT2, encode_int2(list(_TIMESTAMP * 2))
+        )
+    )
+    stream.write(
+        pack_record(RecordType.STRNAME, DataType.ASCII, encode_ascii(structure_name))
+    )
+    _boundary(stream, DIE_LAYER, WIRE_DATATYPE, layout.die)
+    for layer in layout.layers:
+        if include_wires:
+            for wire in layer.wires:
+                _boundary(stream, layer.number, WIRE_DATATYPE, wire)
+        for fill in layer.fills:
+            _boundary(stream, layer.number, FILL_DATATYPE, fill)
+    stream.write(pack_record(RecordType.ENDSTR, DataType.NO_DATA))
+    stream.write(pack_record(RecordType.ENDLIB, DataType.NO_DATA))
+    end = stream.tell() if stream.seekable() else 0
+    return end - start
+
+
+def gdsii_bytes(layout: Layout, **kwargs) -> bytes:
+    """Serialise ``layout`` to an in-memory GDSII byte string."""
+    buf = io.BytesIO()
+    write_gdsii(layout, buf, **kwargs)
+    return buf.getvalue()

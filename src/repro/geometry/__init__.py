@@ -1,0 +1,45 @@
+"""Rectilinear geometry kernel.
+
+Integer-grid Manhattan geometry used throughout the fill framework:
+rectangles (:mod:`~repro.geometry.rect`), 1-D interval sets
+(:mod:`~repro.geometry.interval`), scanline boolean operations on
+rectangle sets (:mod:`~repro.geometry.boolean`), rectilinear polygons
+and their rectangle decompositions (:mod:`~repro.geometry.polygon`,
+:mod:`~repro.geometry.poly2rect`), and a uniform-grid spatial index
+(:mod:`~repro.geometry.grid`).
+"""
+
+from .boolean import (
+    RectSet,
+    canonicalize,
+    clip_rects,
+    intersection_area,
+    rect_set_intersect,
+    rect_set_subtract,
+    rect_set_union,
+    union_area,
+)
+from .grid import GridIndex
+from .interval import IntervalSet
+from .polygon import RectilinearPolygon
+from .poly2rect import gourley_green, polygon_to_rects, scanline_decompose
+from .rect import Rect, bounding_box
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "IntervalSet",
+    "RectSet",
+    "canonicalize",
+    "clip_rects",
+    "intersection_area",
+    "rect_set_intersect",
+    "rect_set_subtract",
+    "rect_set_union",
+    "union_area",
+    "GridIndex",
+    "RectilinearPolygon",
+    "gourley_green",
+    "polygon_to_rects",
+    "scanline_decompose",
+]

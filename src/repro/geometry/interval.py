@@ -1,0 +1,187 @@
+"""One-dimensional integer interval sets.
+
+The scanline boolean engine (:mod:`repro.geometry.boolean`) reduces every
+two-dimensional rectilinear boolean operation to operations on sets of
+closed integer intervals within a horizontal slab.  This module provides
+that substrate: a normalised, sorted, pairwise-disjoint list of
+``(lo, hi)`` intervals with union / intersection / subtraction /
+complement and total-measure queries.
+
+Intervals are treated as continuous segments ``[lo, hi]`` with integer
+endpoints; a degenerate interval (``lo == hi``) has zero measure and is
+dropped during normalisation.  Abutting intervals (``a.hi == b.lo``) are
+merged, which matches how two wire rectangles sharing an edge form one
+covered region for density purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "IntervalSet",
+    "normalize",
+    "union",
+    "intersect",
+    "subtract",
+    "complement",
+    "measure",
+]
+
+Interval = Tuple[int, int]
+
+
+def normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort, drop empty, and merge overlapping/abutting intervals."""
+    items = sorted((lo, hi) for lo, hi in intervals if lo < hi)
+    out: List[Interval] = []
+    for lo, hi in items:
+        if out and lo <= out[-1][1]:
+            if hi > out[-1][1]:
+                out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def measure(intervals: Sequence[Interval]) -> int:
+    """Total length of a *normalised* interval list."""
+    return sum(hi - lo for lo, hi in intervals)
+
+
+def union(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Union of two normalised interval lists."""
+    return normalize(list(a) + list(b))
+
+
+def intersect(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Intersection of two normalised interval lists (linear merge)."""
+    out: List[Interval] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if lo < hi:
+            out.append((lo, hi))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def subtract(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+    """Normalised ``a`` minus normalised ``b`` (linear merge)."""
+    out: List[Interval] = []
+    j = 0
+    for lo, hi in a:
+        cur = lo
+        while j < len(b) and b[j][1] <= cur:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < hi:
+            blo, bhi = b[k]
+            if blo > cur:
+                out.append((cur, blo))
+            cur = max(cur, bhi)
+            if cur >= hi:
+                break
+            k += 1
+        if cur < hi:
+            out.append((cur, hi))
+    return out
+
+
+def complement(a: Sequence[Interval], lo: int, hi: int) -> List[Interval]:
+    """The part of ``[lo, hi]`` not covered by normalised ``a``."""
+    return subtract([(lo, hi)], a)
+
+
+class IntervalSet:
+    """A mutable set of disjoint integer intervals.
+
+    Thin object wrapper over the functional core above, convenient when a
+    scanline accumulates coverage slab by slab.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals = normalize(intervals)
+
+    @property
+    def intervals(self) -> List[Interval]:
+        """The normalised interval list (a copy)."""
+        return list(self._intervals)
+
+    @property
+    def measure(self) -> int:
+        """Total covered length."""
+        return measure(self._intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def add(self, lo: int, hi: int) -> None:
+        """Insert ``[lo, hi]`` into the set."""
+        self._intervals = union(self._intervals, [(lo, hi)] if lo < hi else [])
+
+    def remove(self, lo: int, hi: int) -> None:
+        """Erase ``[lo, hi]`` from the set."""
+        if lo < hi:
+            self._intervals = subtract(self._intervals, [(lo, hi)])
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        out = IntervalSet()
+        out._intervals = union(self._intervals, other._intervals)
+        return out
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        out = IntervalSet()
+        out._intervals = intersect(self._intervals, other._intervals)
+        return out
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        out = IntervalSet()
+        out._intervals = subtract(self._intervals, other._intervals)
+        return out
+
+    def complement(self, lo: int, hi: int) -> "IntervalSet":
+        out = IntervalSet()
+        out._intervals = complement(self._intervals, lo, hi)
+        return out
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """True when ``[lo, hi]`` lies entirely inside one stored interval."""
+        if lo >= hi:
+            return True
+        for ilo, ihi in self._intervals:
+            if ilo <= lo and hi <= ihi:
+                return True
+            if ilo > lo:
+                break
+        return False
+
+    def contains_point(self, x: int) -> bool:
+        """True when ``x`` lies in the closed cover of the set."""
+        for lo, hi in self._intervals:
+            if lo <= x <= hi:
+                return True
+            if lo > x:
+                break
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._intervals!r})"

@@ -1,0 +1,147 @@
+"""Polygon-to-rectangle conversion.
+
+First step of the paper's flow (Fig. 3): "we need to convert polygons to
+rectangles [16]" where [16] is Gourley & Green, *Polygon-to-Rectangle
+Conversion Algorithm* (IEEE CG&A 1983).
+
+Two decompositions are provided:
+
+* :func:`gourley_green` — the referenced algorithm, operating on the
+  polygon's *corner set*.  It repeatedly finds the lowest-leftmost
+  corner pair and splits off a maximal-height rectangle.  Exact for
+  simple rectilinear polygons (holes included when their corners are
+  supplied), and produces the same horizontally-sliced partition as the
+  original paper.
+* :func:`scanline_decompose` — a slab scanline over the polygon edges
+  with even-odd parity.  Used as an independent oracle in tests and as a
+  fallback for degenerate inputs.
+
+Both return disjoint rectangles whose union is exactly the polygon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .polygon import Point, RectilinearPolygon
+from .rect import Rect
+
+__all__ = ["gourley_green", "scanline_decompose", "polygon_to_rects"]
+
+
+def gourley_green(polygon: RectilinearPolygon) -> List[Rect]:
+    """Decompose a rectilinear polygon via Gourley–Green corner splitting.
+
+    The algorithm of ref. [16]: maintain the set of polygon corners
+    (each corner toggles in and out of the set as rectangles are carved
+    off).  Repeatedly:
+
+    1. ``Pk`` — the lowest, then leftmost corner.
+    2. ``Pl`` — the next corner on the same horizontal line (the
+       leftmost corner with ``y == Pk.y`` and ``x > Pk.x``).
+    3. ``Pm`` — the lowest corner strictly above ``Pk`` within the
+       horizontal span ``[Pk.x, Pl.x)``.
+    4. Emit the rectangle ``(Pk.x, Pk.y, Pl.x, Pm.y)`` and toggle the
+       four corners ``Pk``, ``Pl``, ``(Pk.x, Pm.y)``, ``(Pl.x, Pm.y)``
+       in the corner set.
+
+    Terminates when the corner set is empty; each step removes at least
+    two corners, so at most ``V/2`` rectangles are produced.
+    """
+    corners: Set[Point] = set()
+    for v in polygon.vertices:
+        _toggle(corners, v)
+    out: List[Rect] = []
+    # Each iteration removes >= 2 corners from the set; bound the loop
+    # defensively anyway so malformed input cannot hang.
+    max_iter = len(polygon.vertices) * len(polygon.vertices) + 4
+    for _ in range(max_iter):
+        if not corners:
+            return out
+        pk = min(corners, key=lambda p: (p[1], p[0]))
+        same_row = [p for p in corners if p[1] == pk[1] and p[0] > pk[0]]
+        if not same_row:
+            raise ValueError("corner set is inconsistent: no Pl for Pk")
+        pl = min(same_row, key=lambda p: p[0])
+        above = [
+            p
+            for p in corners
+            if p[1] > pk[1] and pk[0] <= p[0] < pl[0]
+        ]
+        if not above:
+            raise ValueError("corner set is inconsistent: no Pm above Pk")
+        pm_y = min(p[1] for p in above)
+        out.append(Rect(pk[0], pk[1], pl[0], pm_y))
+        _toggle(corners, pk)
+        _toggle(corners, pl)
+        _toggle(corners, (pk[0], pm_y))
+        _toggle(corners, (pl[0], pm_y))
+    raise ValueError("Gourley-Green did not terminate: malformed polygon")
+
+
+def _toggle(corners: Set[Point], p: Point) -> None:
+    if p in corners:
+        corners.remove(p)
+    else:
+        corners.add(p)
+
+
+def scanline_decompose(polygon: RectilinearPolygon) -> List[Rect]:
+    """Slab-scanline decomposition with even-odd parity.
+
+    Collect the vertical edges, cut the plane at every distinct y, and
+    inside each slab pair up the crossing vertical edges left to right.
+    Simple, and independent of :func:`gourley_green` — the two are
+    cross-checked in the property-based tests.
+    """
+    verts = polygon.vertices
+    n = len(verts)
+    vertical_edges: List[Tuple[int, int, int]] = []  # (x, ylo, yhi)
+    ys = set()
+    for i in range(n):
+        (x0, y0), (x1, y1) = verts[i], verts[(i + 1) % n]
+        if x0 == x1 and y0 != y1:
+            vertical_edges.append((x0, min(y0, y1), max(y0, y1)))
+        ys.add(y0)
+    edges_y = sorted(ys)
+    out: List[Rect] = []
+    for ylo, yhi in zip(edges_y, edges_y[1:]):
+        crossing = sorted(
+            x for x, eylo, eyhi in vertical_edges if eylo <= ylo and eyhi >= yhi
+        )
+        if len(crossing) % 2 != 0:
+            raise ValueError("odd crossing count: polygon is not simple")
+        for xl, xh in zip(crossing[0::2], crossing[1::2]):
+            if xl < xh:
+                out.append(Rect(xl, ylo, xh, yhi))
+    return _merge_columns(out)
+
+
+def _merge_columns(rects: List[Rect]) -> List[Rect]:
+    """Merge vertically stacked slab rectangles sharing an x-span."""
+    rects = sorted(rects, key=lambda r: (r.xl, r.xh, r.yl))
+    out: List[Rect] = []
+    for r in rects:
+        if out and (out[-1].xl, out[-1].xh, out[-1].yh) == (r.xl, r.xh, r.yl):
+            out[-1] = Rect(r.xl, out[-1].yl, r.xh, r.yh)
+        else:
+            out.append(r)
+    out.sort()
+    return out
+
+
+def polygon_to_rects(
+    polygon: RectilinearPolygon, method: str = "gourley-green"
+) -> List[Rect]:
+    """Decompose ``polygon`` into disjoint rectangles.
+
+    ``method`` selects ``"gourley-green"`` (default, ref. [16]) or
+    ``"scanline"``.  Rectangular inputs short-circuit either way.
+    """
+    if polygon.is_rectangle:
+        return [polygon.to_rect()]
+    if method == "gourley-green":
+        return gourley_green(polygon)
+    if method == "scanline":
+        return scanline_decompose(polygon)
+    raise ValueError(f"unknown decomposition method: {method!r}")

@@ -1,0 +1,147 @@
+"""Rectilinear (Manhattan) polygons.
+
+Contest layouts arrive as rectilinear polygons; the first step of the
+paper's flow (Fig. 3) is "convert polygons to rectangles [16]".  This
+module holds the polygon representation and validity checks; the actual
+decomposition lives in :mod:`repro.geometry.poly2rect`.
+
+A polygon is a closed loop of integer vertices whose consecutive edges
+alternate between horizontal and vertical.  The loop is stored without
+the repeated closing vertex.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .rect import Rect
+
+__all__ = ["RectilinearPolygon"]
+
+Point = Tuple[int, int]
+
+
+class RectilinearPolygon:
+    """A simple rectilinear polygon on the integer grid.
+
+    The constructor normalises the vertex loop (drops collinear and
+    repeated vertices) and validates rectilinearity.  Orientation may be
+    clockwise or counter-clockwise; :attr:`area` is always positive.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence[Point]):
+        verts = [(int(x), int(y)) for x, y in vertices]
+        if len(verts) >= 2 and verts[0] == verts[-1]:
+            verts = verts[:-1]
+        verts = self._drop_collinear(verts)
+        if len(verts) < 4:
+            raise ValueError("a rectilinear polygon needs at least 4 vertices")
+        if len(verts) % 2 != 0:
+            raise ValueError("rectilinear polygons have an even vertex count")
+        self._validate_rectilinear(verts)
+        self._vertices = tuple(verts)
+
+    @staticmethod
+    def _drop_collinear(verts: List[Point]) -> List[Point]:
+        """Remove duplicate and collinear vertices from the loop."""
+        # Drop consecutive duplicates first.
+        out: List[Point] = []
+        for v in verts:
+            if not out or out[-1] != v:
+                out.append(v)
+        if len(out) >= 2 and out[0] == out[-1]:
+            out.pop()
+        # Drop collinear middles until stable.
+        changed = True
+        while changed and len(out) >= 3:
+            changed = False
+            result: List[Point] = []
+            n = len(out)
+            for i in range(n):
+                a, b, c = out[i - 1], out[i], out[(i + 1) % n]
+                collinear = (a[0] == b[0] == c[0]) or (a[1] == b[1] == c[1])
+                if collinear:
+                    changed = True
+                else:
+                    result.append(b)
+            out = result
+        return out
+
+    @staticmethod
+    def _validate_rectilinear(verts: Sequence[Point]) -> None:
+        n = len(verts)
+        for i in range(n):
+            a, b = verts[i], verts[(i + 1) % n]
+            if a[0] != b[0] and a[1] != b[1]:
+                raise ValueError(f"edge {a}->{b} is neither horizontal nor vertical")
+            prev = verts[i - 1]
+            prev_horizontal = prev[1] == a[1]
+            cur_horizontal = a[1] == b[1]
+            if prev_horizontal == cur_horizontal:
+                raise ValueError(
+                    f"edges around vertex {a} do not alternate H/V"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        """The normalised vertex loop (closing vertex not repeated)."""
+        return self._vertices
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def area(self) -> int:
+        """Enclosed area via the shoelace formula (always positive)."""
+        total = 0
+        n = len(self._vertices)
+        for i in range(n):
+            x0, y0 = self._vertices[i]
+            x1, y1 = self._vertices[(i + 1) % n]
+            total += x0 * y1 - x1 * y0
+        return abs(total) // 2
+
+    @property
+    def bbox(self) -> Rect:
+        xs = [v[0] for v in self._vertices]
+        ys = [v[1] for v in self._vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def is_rectangle(self) -> bool:
+        """True when the polygon is a plain axis-aligned rectangle."""
+        return len(self._vertices) == 4
+
+    def to_rect(self) -> Rect:
+        """Convert a 4-vertex polygon to a :class:`Rect`."""
+        if not self.is_rectangle:
+            raise ValueError("polygon is not a rectangle")
+        return self.bbox
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "RectilinearPolygon":
+        return cls(rect.corners())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectilinearPolygon):
+            return NotImplemented
+        return self._canonical_loop() == other._canonical_loop()
+
+    def _canonical_loop(self) -> Tuple[Point, ...]:
+        """Rotation- and direction-independent canonical vertex order."""
+        verts = list(self._vertices)
+        candidates = []
+        for loop in (verts, verts[::-1]):
+            start = loop.index(min(loop))
+            candidates.append(tuple(loop[start:] + loop[:start]))
+        return min(candidates)
+
+    def __hash__(self) -> int:
+        return hash(self._canonical_loop())
+
+    def __repr__(self) -> str:
+        return f"RectilinearPolygon({len(self._vertices)} vertices, area={self.area})"

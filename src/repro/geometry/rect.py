@@ -1,0 +1,240 @@
+"""Axis-aligned integer rectangles.
+
+All layout geometry in this package is Manhattan (rectilinear) and lives
+on an integer grid of database units (1 dbu = 1 nm), matching the GDSII
+convention and the integrality requirement of the sizing ILP
+(Eqn. (9) of the paper).
+
+A :class:`Rect` is half-open in neither direction: it is the closed box
+``[xl, xh] x [yl, yh]`` with ``xl <= xh`` and ``yl <= yh``.  Area and
+intersection treat the box as the continuous region it covers, so a
+degenerate rectangle (``xl == xh``) has zero area and two rectangles
+that merely share an edge have zero intersection area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Rect", "bounding_box"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xl, xh] x [yl, yh]``.
+
+    Coordinates are integers (database units).  Instances are immutable
+    and hashable so they can be used in sets and as dict keys.
+    """
+
+    xl: int
+    yl: int
+    xh: int
+    yh: int
+
+    def __post_init__(self) -> None:
+        if self.xl > self.xh or self.yl > self.yh:
+            raise ValueError(
+                f"malformed rectangle ({self.xl},{self.yl},{self.xh},{self.yh}): "
+                "requires xl <= xh and yl <= yh"
+            )
+
+    # ------------------------------------------------------------------
+    # basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Horizontal extent ``xh - xl``."""
+        return self.xh - self.xl
+
+    @property
+    def height(self) -> int:
+        """Vertical extent ``yh - yl``."""
+        return self.yh - self.yl
+
+    @property
+    def area(self) -> int:
+        """Covered area ``width * height``."""
+        return self.width * self.height
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.xl == self.xh or self.yl == self.yh
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric center (may be half-integral)."""
+        return ((self.xl + self.xh) / 2.0, (self.yl + self.yh) / 2.0)
+
+    @property
+    def min_side(self) -> int:
+        """The smaller of width and height (DRC min-width checks)."""
+        return min(self.width, self.height)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: int, y: int) -> bool:
+        """True when ``(x, y)`` lies inside or on the boundary."""
+        return self.xl <= x <= self.xh and self.yl <= y <= self.yh
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xl <= other.xl
+            and self.yl <= other.yl
+            and other.xh <= self.xh
+            and other.yh <= self.yh
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the open interiors intersect (positive-area overlap)."""
+        return (
+            self.xl < other.xh
+            and other.xl < self.xh
+            and self.yl < other.yh
+            and other.yl < self.yh
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when the closed boxes intersect (shared edge counts)."""
+        return (
+            self.xl <= other.xh
+            and other.xl <= self.xh
+            and self.yl <= other.yh
+            and other.yl <= self.yh
+        )
+
+    # ------------------------------------------------------------------
+    # constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or ``None`` when interiors are disjoint."""
+        xl = max(self.xl, other.xl)
+        yl = max(self.yl, other.yl)
+        xh = min(self.xh, other.xh)
+        yh = min(self.yh, other.yh)
+        if xl >= xh or yl >= yh:
+            return None
+        return Rect(xl, yl, xh, yh)
+
+    def intersection_area(self, other: "Rect") -> int:
+        """Area of overlap with ``other`` (0 when disjoint)."""
+        w = min(self.xh, other.xh) - max(self.xl, other.xl)
+        h = min(self.yh, other.yh) - max(self.yl, other.yl)
+        if w <= 0 or h <= 0:
+            return 0
+        return w * h
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Bounding box of the two rectangles."""
+        return Rect(
+            min(self.xl, other.xl),
+            min(self.yl, other.yl),
+            max(self.xh, other.xh),
+            max(self.yh, other.yh),
+        )
+
+    def expanded(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margin) by ``margin`` on all sides.
+
+        Shrinking below a point raises ``ValueError`` via the constructor,
+        mirroring how a DRC bloat can never invert a shape.
+        """
+        return Rect(
+            self.xl - margin, self.yl - margin, self.xh + margin, self.yh + margin
+        )
+
+    def shrunk(self, margin: int) -> Optional["Rect"]:
+        """Shrink by ``margin`` on all sides; ``None`` when nothing remains."""
+        xl, yl = self.xl + margin, self.yl + margin
+        xh, yh = self.xh - margin, self.yh - margin
+        if xl >= xh or yl >= yh:
+            return None
+        return Rect(xl, yl, xh, yh)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """A copy moved by ``(dx, dy)``."""
+        return Rect(self.xl + dx, self.yl + dy, self.xh + dx, self.yh + dy)
+
+    def clipped(self, clip: "Rect") -> Optional["Rect"]:
+        """Alias of :meth:`intersection` named for window clipping."""
+        return self.intersection(clip)
+
+    # ------------------------------------------------------------------
+    # distances (used by spacing-rule checks, Eqn. (9g))
+    # ------------------------------------------------------------------
+    def gap_x(self, other: "Rect") -> int:
+        """Horizontal free gap between the two boxes (0 when they overlap in x)."""
+        return max(0, max(self.xl, other.xl) - min(self.xh, other.xh))
+
+    def gap_y(self, other: "Rect") -> int:
+        """Vertical free gap between the two boxes (0 when they overlap in y)."""
+        return max(0, max(self.yl, other.yl) - min(self.yh, other.yh))
+
+    def euclidean_gap(self, other: "Rect") -> float:
+        """Euclidean distance between closed boxes — e(i, j) in Table 1."""
+        dx = self.gap_x(other)
+        dy = self.gap_y(other)
+        return float((dx * dx + dy * dy) ** 0.5)
+
+    # ------------------------------------------------------------------
+    # decomposition helpers
+    # ------------------------------------------------------------------
+    def subtract(self, other: "Rect") -> List["Rect"]:
+        """This rectangle minus ``other``, as up to four disjoint rectangles.
+
+        Uses the standard guillotine split: full-width bottom and top
+        slabs, then left and right side pieces of the middle band.
+        """
+        inter = self.intersection(other)
+        if inter is None:
+            return [self]
+        pieces: List[Rect] = []
+        if self.yl < inter.yl:
+            pieces.append(Rect(self.xl, self.yl, self.xh, inter.yl))
+        if inter.yh < self.yh:
+            pieces.append(Rect(self.xl, inter.yh, self.xh, self.yh))
+        if self.xl < inter.xl:
+            pieces.append(Rect(self.xl, inter.yl, inter.xl, inter.yh))
+        if inter.xh < self.xh:
+            pieces.append(Rect(inter.xh, inter.yl, self.xh, inter.yh))
+        return pieces
+
+    def corners(self) -> Tuple[Tuple[int, int], ...]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            (self.xl, self.yl),
+            (self.xh, self.yl),
+            (self.xh, self.yh),
+            (self.xl, self.yh),
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        """Unpack as ``xl, yl, xh, yh``."""
+        return iter((self.xl, self.yl, self.xh, self.yh))
+
+    def __str__(self) -> str:
+        return f"({self.xl},{self.yl})-({self.xh},{self.yh})"
+
+
+def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
+    """Bounding box of a collection of rectangles; ``None`` when empty."""
+    it = iter(rects)
+    try:
+        first = next(it)
+    except StopIteration:
+        return None
+    xl, yl, xh, yh = first.xl, first.yl, first.xh, first.yh
+    for r in it:
+        if r.xl < xl:
+            xl = r.xl
+        if r.yl < yl:
+            yl = r.yl
+        if r.xh > xh:
+            xh = r.xh
+        if r.yh > yh:
+            yh = r.yh
+    return Rect(xl, yl, xh, yh)

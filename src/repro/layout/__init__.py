@@ -1,0 +1,15 @@
+"""Layout model: layers, DRC rules, window dissection."""
+
+from .drc import DrcRules, DrcViolation, check_fills
+from .layer import Layer
+from .layout import Layout
+from .window import WindowGrid
+
+__all__ = [
+    "DrcRules",
+    "DrcViolation",
+    "check_fills",
+    "Layer",
+    "Layout",
+    "WindowGrid",
+]

@@ -1,0 +1,35 @@
+"""Min-cost-flow solvers and the dual-MCF LP transformation (§3.3.3)."""
+
+from .difflp import solve_linprog
+from .dualmcf import (
+    DifferentialLP,
+    DualMcfSolution,
+    LPInfeasibleError,
+    solve_dual_mcf,
+)
+from .graph import (
+    Arc,
+    FlowNetwork,
+    FlowResult,
+    InfeasibleFlowError,
+    UnboundedFlowError,
+)
+from .cost_scaling import solve_cost_scaling
+from .network_simplex import solve_network_simplex
+from .ssp import solve_min_cost_flow
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "FlowResult",
+    "InfeasibleFlowError",
+    "UnboundedFlowError",
+    "solve_min_cost_flow",
+    "solve_network_simplex",
+    "solve_cost_scaling",
+    "DifferentialLP",
+    "DualMcfSolution",
+    "LPInfeasibleError",
+    "solve_dual_mcf",
+    "solve_linprog",
+]

@@ -1,0 +1,232 @@
+"""Cost-scaling push-relabel min-cost-flow solver (Goldberg–Tarjan).
+
+Third, independent LEMON-style engine (LEMON [21] ships network simplex
+*and* a cost-scaling solver).  The classic ε-optimality scheme:
+
+* costs are multiplied by ``n+1`` so that ε < 1 certifies optimality of
+  the integral flow,
+* ε starts at the largest scaled cost magnitude and halves each phase,
+* each ``refine`` phase saturates every arc with negative reduced cost,
+  then discharges active (excess) nodes: *push* over admissible arcs
+  (negative reduced cost, residual capacity), *relabel* (lower the
+  node potential by ε plus the best admissible margin) when stuck.
+
+Feasibility is provided by big-cost artificial arcs from every supply
+node to every demand node (removed from the reported solution; any
+residual artificial flow certifies infeasibility).  Negative cycles of
+uncapacitated arcs are detected up front with Bellman–Ford and reported
+as unbounded.
+
+The final potentials are rescaled to integers satisfying reduced-cost
+optimality for the *original* costs, so :meth:`FlowResult.verify` and
+the dual-MCF recovery work unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from .graph import (
+    FlowNetwork,
+    FlowResult,
+    InfeasibleFlowError,
+    UnboundedFlowError,
+)
+
+__all__ = ["solve_cost_scaling"]
+
+
+class _Residual:
+    """Paired-arc residual network (forward at even, backward at odd)."""
+
+    __slots__ = ("head", "cap", "cost", "adj")
+
+    def __init__(self, num_nodes: int) -> None:
+        self.head: List[int] = []
+        self.cap: List[int] = []
+        self.cost: List[int] = []
+        self.adj: List[List[int]] = [[] for _ in range(num_nodes)]
+
+    def add_pair(self, tail: int, head: int, cap: int, cost: int) -> None:
+        self.adj[tail].append(len(self.head))
+        self.head.append(head)
+        self.cap.append(cap)
+        self.cost.append(cost)
+        self.adj[head].append(len(self.head))
+        self.head.append(tail)
+        self.cap.append(0)
+        self.cost.append(-cost)
+
+
+def _negative_uncapped_cycle(network: FlowNetwork) -> bool:
+    """Bellman–Ford over the uncapacitated arcs only."""
+    n = network.num_nodes
+    arcs = [a for a in network.arcs if a.capacity is None]
+    if not arcs:
+        return False
+    dist = [0] * n
+    for round_no in range(n + 1):
+        changed = False
+        for a in arcs:
+            if dist[a.tail] + a.cost < dist[a.head]:
+                dist[a.head] = dist[a.tail] + a.cost
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def solve_cost_scaling(network: FlowNetwork) -> FlowResult:
+    """Solve a min-cost transshipment problem by cost scaling."""
+    if not network.is_balanced():
+        raise InfeasibleFlowError(
+            f"supplies sum to {sum(network.supplies)}, expected 0"
+        )
+    n = network.num_nodes
+    if n == 0:
+        return FlowResult(flows=[], cost=0, potentials=[])
+    if _negative_uncapped_cycle(network):
+        raise UnboundedFlowError(
+            "negative-cost cycle of uncapacitated arcs: unbounded"
+        )
+
+    caps = network.finite_capacities()
+    scale = n + 1
+    res = _Residual(n)
+
+    num_original = network.num_arcs
+    for arc, cap in zip(network.arcs, caps):
+        res.add_pair(arc.tail, arc.head, cap, arc.cost * scale)
+
+    # Artificial feasibility arcs: supply -> demand at a dominating cost.
+    big = (sum(abs(a.cost) for a in network.arcs) + 1) * scale * n
+    total_supply = network.total_positive_supply
+    supply_nodes = [u for u, s in enumerate(network.supplies) if s > 0]
+    demand_nodes = [u for u, s in enumerate(network.supplies) if s < 0]
+    num_artificial = 0
+    for u in supply_nodes:
+        for v in demand_nodes:
+            res.add_pair(u, v, total_supply, big)
+            num_artificial += 1
+
+    pi = [0] * n
+    excess = list(network.supplies)
+
+    max_cost = max((abs(c) for c in res.cost), default=0)
+    epsilon = max(1, max_cost)
+
+    def push(e: int, amount: int, tail: int) -> None:
+        res.cap[e] -= amount
+        res.cap[e ^ 1] += amount
+        excess[tail] -= amount
+        excess[res.head[e]] += amount
+
+    while epsilon >= 1:
+        # refine(epsilon): saturate negative-reduced-cost arcs ...
+        for u in range(n):
+            for e in res.adj[u]:
+                if res.cap[e] > 0 and res.cost[e] + pi[u] - pi[res.head[e]] < 0:
+                    push(e, res.cap[e], u)
+        # ... then discharge active nodes.
+        active = deque(u for u in range(n) if excess[u] > 0)
+        guard = 0
+        guard_limit = 40 * n * n * max(1, len(res.head))
+        while active:
+            guard += 1
+            if guard > guard_limit:
+                raise RuntimeError("cost-scaling failed to converge")
+            u = active.popleft()
+            while excess[u] > 0:
+                pushed = False
+                for e in res.adj[u]:
+                    if res.cap[e] <= 0:
+                        continue
+                    v = res.head[e]
+                    if res.cost[e] + pi[u] - pi[v] < 0:  # admissible
+                        amount = min(excess[u], res.cap[e])
+                        had_excess = excess[v] > 0
+                        push(e, amount, u)
+                        if excess[v] > 0 and not had_excess:
+                            active.append(v)
+                        pushed = True
+                        if excess[u] == 0:
+                            break
+                if excess[u] == 0:
+                    break
+                if not pushed:
+                    # Relabel: lower pi[u] just enough to create an
+                    # admissible arc (the standard epsilon step).
+                    best = None
+                    for e in res.adj[u]:
+                        if res.cap[e] > 0:
+                            rc = res.cost[e] + pi[u] - pi[res.head[e]]
+                            if best is None or rc < best:
+                                best = rc
+                    if best is None:
+                        raise InfeasibleFlowError(
+                            "active node with no outgoing residual arc"
+                        )
+                    pi[u] -= best + epsilon
+        if epsilon == 1:
+            break
+        epsilon //= 2
+
+    # Extract flows; artificial arcs must be empty.
+    flows = []
+    for k in range(num_original):
+        flows.append(res.cap[2 * k + 1])
+    art_base = 2 * num_original
+    for k in range(num_artificial):
+        if res.cap[art_base + 2 * k + 1] != 0:
+            raise InfeasibleFlowError(
+                "artificial arc carries flow: supplies cannot be routed"
+            )
+    cost = sum(a.cost * f for a, f in zip(network.arcs, flows))
+
+    # Rescale potentials to the original cost domain.  eps < scale
+    # guarantees floor(pi/scale) satisfies reduced-cost optimality for
+    # the unscaled costs; verify() below enforces it.
+    pi_int = _round_potentials(network, flows, pi, scale)
+    return FlowResult(flows=flows, cost=cost, potentials=pi_int)
+
+
+def _round_potentials(
+    network: FlowNetwork, flows: List[int], pi: List[int], scale: int
+) -> List[int]:
+    """Integer potentials for the unscaled costs via one Bellman–Ford.
+
+    1-optimality of the scaled solution implies the flow is optimal for
+    the original costs; exact dual potentials are recovered by a
+    shortest-path computation on the residual graph of the *original*
+    costs (every residual cycle is non-negative at optimality, so
+    Bellman–Ford converges).
+    """
+    n = network.num_nodes
+    caps = network.finite_capacities()
+    arcs = []  # (tail, head, cost) residual arcs at original costs
+    for a, f, cap in zip(network.arcs, flows, caps):
+        # An uncapacitated arc always has residual capacity in the true
+        # problem, even when the solver's finite stand-in cap saturated
+        # (the flow remains optimal for the uncapacitated problem, so
+        # including the arc cannot create a negative cycle) — dropping
+        # it would lose the corresponding dual constraint.
+        if a.capacity is None or f < cap:
+            arcs.append((a.tail, a.head, a.cost))
+        if f > 0:
+            arcs.append((a.head, a.tail, -a.cost))
+    dist = [0] * n
+    for _ in range(n + 1):
+        changed = False
+        for t, h, c in arcs:
+            if dist[t] + c < dist[h]:
+                dist[h] = dist[t] + c
+                changed = True
+        if not changed:
+            break
+    else:
+        raise AssertionError(
+            "residual graph has a negative cycle: scaled solution is "
+            "not optimal (solver bug)"
+        )
+    return dist

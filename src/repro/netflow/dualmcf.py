@@ -1,0 +1,256 @@
+"""Dual min-cost-flow solver for differential-constraint LPs.
+
+Implements the core speed-up of the paper (§3.3.3): a linear program of
+the form of Eqn. (14),
+
+    min  Σ c_i x_i
+    s.t. x_i − x_j ≥ b_ij      (i, j) ∈ E
+         l_i ≤ x_i ≤ u_i       x ∈ Z,
+
+is transformed into the dual of a min-cost-flow problem (Eqn. (15)) by
+introducing an anchor variable ``y_0`` and folding the box bounds into
+differential constraints against it (Eqn. (16)):
+
+    x_i = y_i − y_0,
+    c'_i = c_i  (i ≥ 1),   c'_0 = −Σ c_i,
+    b'_ij = b_ij,  b'_i0 = l_i,  b'_0i = −u_i.
+
+The flow network has one node per ``y`` variable with supply ``c'_i``
+and one uncapacitated arc per constraint ``(i, j)`` with cost
+``−b'_ij``; the optimal node potentials are the optimal ``y`` (Lemma 1),
+recovered here from the solver's dual values.
+
+An infeasible constraint system (e.g. a positive-weight cycle of
+differential constraints, or crossed bounds) shows up as a negative
+uncapacitated cycle in the flow network and is reported as
+:class:`LPInfeasibleError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .graph import (
+    FlowNetwork,
+    FlowResult,
+    InfeasibleFlowError,
+    UnboundedFlowError,
+)
+from .ssp import solve_min_cost_flow
+from .network_simplex import solve_network_simplex
+from .cost_scaling import solve_cost_scaling
+
+__all__ = [
+    "DifferentialLP",
+    "DualMcfSolution",
+    "LPInfeasibleError",
+    "solve_dual_mcf",
+]
+
+
+class LPInfeasibleError(Exception):
+    """The differential-constraint system admits no solution."""
+
+
+@dataclass
+class DifferentialLP:
+    """A differential-constraint LP instance (Eqn. (14)).
+
+    Variables are added with :meth:`add_variable` (returning the
+    variable index) and constraints ``x_i - x_j >= b`` with
+    :meth:`add_constraint`.  Costs, bounds and constraint offsets are
+    integers; optima are therefore integral (the constraint matrix is
+    totally unimodular), which is exactly why the paper can treat the
+    relaxation as an ILP.
+    """
+
+    costs: List[int] = field(default_factory=list)
+    lowers: List[int] = field(default_factory=list)
+    uppers: List[int] = field(default_factory=list)
+    constraints: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.costs)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def add_variable(self, cost: int, lower: int, upper: int) -> int:
+        """New variable with objective coefficient and box bounds."""
+        if lower > upper:
+            raise LPInfeasibleError(
+                f"variable bounds crossed: [{lower}, {upper}]"
+            )
+        self.costs.append(int(cost))
+        self.lowers.append(int(lower))
+        self.uppers.append(int(upper))
+        return len(self.costs) - 1
+
+    def add_constraint(self, i: int, j: int, b: int) -> None:
+        """Add ``x_i - x_j >= b``."""
+        n = self.num_variables
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"constraint ({i},{j}) references unknown variables")
+        if i == j:
+            if b > 0:
+                raise LPInfeasibleError(f"constraint x_{i} - x_{i} >= {b} > 0")
+            return  # trivially satisfied
+        self.constraints.append((i, j, int(b)))
+
+    def objective(self, x: Sequence[int]) -> int:
+        return sum(c * v for c, v in zip(self.costs, x))
+
+    def is_feasible(self, x: Sequence[float], tol: float = 1e-9) -> bool:
+        """Check a candidate point against bounds and constraints."""
+        for v, lo, hi in zip(x, self.lowers, self.uppers):
+            if v < lo - tol or v > hi + tol:
+                return False
+        for i, j, b in self.constraints:
+            if x[i] - x[j] < b - tol:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def to_flow_network(self) -> FlowNetwork:
+        """Build the Eqn. (16) min-cost-flow network (node 0 = y_0)."""
+        net = FlowNetwork()
+        total_cost = sum(self.costs)
+        net.add_node(supply=-total_cost, name="y0")
+        for i, c in enumerate(self.costs):
+            net.add_node(supply=c, name=f"y{i + 1}")
+        for i, j, b in self.constraints:
+            # (i, j) in E' with b'_ij = b_ij  ->  arc i -> j, cost -b.
+            net.add_arc(i + 1, j + 1, capacity=None, cost=-b)
+        for i in range(self.num_variables):
+            # y_i - y_0 >= l_i  ->  arc i -> 0, cost -l_i.
+            net.add_arc(i + 1, 0, capacity=None, cost=-self.lowers[i])
+            # y_0 - y_i >= -u_i  ->  arc 0 -> i, cost u_i.
+            net.add_arc(0, i + 1, capacity=None, cost=self.uppers[i])
+        return net
+
+
+@dataclass(frozen=True)
+class DualMcfSolution:
+    """Optimal solution of a :class:`DifferentialLP` via dual MCF."""
+
+    x: List[int]
+    objective: int
+    flow_cost: int
+
+    def __iter__(self):
+        return iter(self.x)
+
+
+def solve_dual_mcf(
+    lp: DifferentialLP,
+    solver: str = "ssp",
+    *,
+    decompose: bool = True,
+) -> DualMcfSolution:
+    """Solve Eqn. (14) exactly through the Eqn. (15)/(16) dual MCF.
+
+    ``solver`` selects the flow engine: ``"ssp"`` (successive shortest
+    paths, default), ``"simplex"`` (network simplex), or
+    ``"cost-scaling"`` (Goldberg-Tarjan push-relabel).
+
+    With ``decompose=True`` (default) the LP is first split into the
+    connected components of its constraint graph, each solved on its
+    own anchor node.  Fill-sizing LPs decompose into thousands of
+    two-variable components plus a few spacing-coupled chains, so this
+    is a large constant-factor win at identical optima; pass
+    ``decompose=False`` to benchmark the monolithic transformation.
+    """
+    if lp.num_variables == 0:
+        return DualMcfSolution(x=[], objective=0, flow_cost=0)
+    if decompose:
+        components = _components(lp)
+        if len(components) > 1:
+            x: List[int] = [0] * lp.num_variables
+            total_obj = 0
+            total_cost = 0
+            for members in components:
+                sub, back = _sub_lp(lp, members)
+                sol = solve_dual_mcf(sub, solver, decompose=False)
+                for local, value in enumerate(sol.x):
+                    x[back[local]] = value
+                total_obj += sol.objective
+                total_cost += sol.flow_cost
+            return DualMcfSolution(x=x, objective=total_obj, flow_cost=total_cost)
+    net = lp.to_flow_network()
+    engines: Dict[str, Callable[[FlowNetwork], FlowResult]] = {
+        "ssp": solve_min_cost_flow,
+        "simplex": solve_network_simplex,
+        "cost-scaling": solve_cost_scaling,
+    }
+    try:
+        engine = engines[solver]
+    except KeyError:
+        raise ValueError(f"unknown flow solver {solver!r}") from None
+    try:
+        result = engine(net)
+    except (InfeasibleFlowError, UnboundedFlowError) as exc:
+        raise LPInfeasibleError(
+            f"differential constraint system is infeasible: {exc}"
+        ) from exc
+    # With the solver convention cost + pi[tail] - pi[head] >= 0 on every
+    # residual arc, the potentials themselves are a feasible y for (15)
+    # (Lemma 1): arc i->j with cost -b' yields pi_i - pi_j >= b'.  Hence
+    # x_i = y_{i+1} - y_0 = pi_{i+1} - pi_0 (Eqn. (16a)).
+    pi = result.potentials
+    x = [pi[i + 1] - pi[0] for i in range(lp.num_variables)]
+    if not lp.is_feasible(x):
+        raise AssertionError(
+            "dual-MCF potentials violate the LP constraints; "
+            "this indicates a solver bug"
+        )
+    objective = lp.objective(x)
+    if objective != -result.cost:
+        # Strong duality ties the LP optimum to the negated flow cost;
+        # a mismatch means the potentials are feasible but suboptimal.
+        raise AssertionError(
+            f"dual-MCF objective {objective} != -flow cost {-result.cost}"
+        )
+    return DualMcfSolution(
+        x=x, objective=objective, flow_cost=result.cost
+    )
+
+
+def _components(lp: DifferentialLP) -> List[List[int]]:
+    """Connected components of the constraint graph (union-find)."""
+    parent = list(range(lp.num_variables))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i, j, _ in lp.constraints:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+    groups: Dict[int, List[int]] = {}
+    for v in range(lp.num_variables):
+        groups.setdefault(find(v), []).append(v)
+    return list(groups.values())
+
+
+def _sub_lp(
+    lp: DifferentialLP, members: List[int]
+) -> Tuple[DifferentialLP, List[int]]:
+    """Restrict ``lp`` to a variable subset; returns (sub-LP, index map)."""
+    local = {v: k for k, v in enumerate(members)}
+    sub = DifferentialLP(
+        costs=[lp.costs[v] for v in members],
+        lowers=[lp.lowers[v] for v in members],
+        uppers=[lp.uppers[v] for v in members],
+        constraints=[
+            (local[i], local[j], b)
+            for i, j, b in lp.constraints
+            if i in local
+        ],
+    )
+    return sub, members

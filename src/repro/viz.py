@@ -1,0 +1,199 @@
+"""Layout and density-map visualisation (SVG and ASCII).
+
+Debugging a fill engine is visual work: where did the candidates go,
+which windows are starved, what does the overlay hot zone look like.
+This module renders without any plotting dependency:
+
+* :func:`layout_to_svg` — wires and fills per layer as an SVG document
+  (wires solid, fills translucent with a dashed outline, layers in
+  distinguishable colors, optional window grid overlay),
+* :func:`density_to_svg` — a window density map as an SVG heat map
+  with per-cell annotations,
+* :func:`density_to_ascii` — the same as a terminal heat map (used by
+  ``examples/quickstart.py``).
+
+SVGs are plain strings; write them to a file and open in any browser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from .geometry import Rect
+from .layout import Layout, WindowGrid
+
+__all__ = ["layout_to_svg", "density_to_svg", "density_to_ascii"]
+
+#: Color-blind-safe layer palette (Okabe-Ito), cycled for tall stacks.
+_LAYER_COLORS = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+)
+
+
+def _layer_color(number: int) -> str:
+    return _LAYER_COLORS[(number - 1) % len(_LAYER_COLORS)]
+
+
+def _svg_rect(
+    rect: Rect,
+    die: Rect,
+    scale: float,
+    height: float,
+    fill: str,
+    opacity: float,
+    extra: str = "",
+) -> str:
+    # SVG y grows downward; layout y grows upward.
+    x = (rect.xl - die.xl) * scale
+    y = height - (rect.yh - die.yl) * scale
+    w = rect.width * scale
+    h = rect.height * scale
+    return (
+        f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+        f'fill="{fill}" fill-opacity="{opacity}" {extra}/>'
+    )
+
+
+def layout_to_svg(
+    layout: Layout,
+    *,
+    grid: Optional[WindowGrid] = None,
+    layers: Optional[Sequence[int]] = None,
+    width: int = 800,
+    show_wires: bool = True,
+    show_fills: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render a layout as an SVG document string.
+
+    ``layers`` restricts the rendering (default: all); ``grid`` draws
+    the window dissection on top.
+    """
+    die = layout.die
+    scale = width / die.width
+    height = die.height * scale
+    selected = list(layers) if layers is not None else layout.layer_numbers
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height:.0f}" viewBox="0 0 {width} {height:.0f}">',
+        f'<rect width="{width}" height="{height:.0f}" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append(
+            f'<title>{escape(title)}</title>'
+        )
+    for number in selected:
+        layer = layout.layer(number)
+        color = _layer_color(number)
+        if show_wires:
+            parts.append(f'<g id="layer{number}-wires">')
+            for wire in layer.wires:
+                parts.append(
+                    _svg_rect(wire, die, scale, height, color, 0.85)
+                )
+            parts.append("</g>")
+        if show_fills:
+            parts.append(f'<g id="layer{number}-fills">')
+            for rect in layer.fills:
+                parts.append(
+                    _svg_rect(
+                        rect,
+                        die,
+                        scale,
+                        height,
+                        color,
+                        0.30,
+                        extra=f'stroke="{color}" stroke-width="0.5" '
+                        'stroke-dasharray="3,2" ',
+                    )
+                )
+            parts.append("</g>")
+    if grid is not None:
+        parts.append('<g id="windows" stroke="#444444" stroke-width="0.8">')
+        for i in range(1, grid.cols):
+            x = (grid.die.xl + i * grid.window_width - die.xl) * scale
+            parts.append(f'<line x1="{x:.2f}" y1="0" x2="{x:.2f}" y2="{height:.0f}"/>')
+        for j in range(1, grid.rows):
+            y = height - (grid.die.yl + j * grid.window_height - die.yl) * scale
+            parts.append(f'<line x1="0" y1="{y:.2f}" x2="{width}" y2="{y:.2f}"/>')
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _heat_color(value: float) -> str:
+    """White -> blue -> red ramp for densities in [0, 1]."""
+    v = min(1.0, max(0.0, value))
+    if v < 0.5:
+        t = v / 0.5
+        r = int(255 - t * (255 - 0x00))
+        g = int(255 - t * (255 - 0x72))
+        b = int(255 - t * (255 - 0xB2))
+    else:
+        t = (v - 0.5) / 0.5
+        r = int(0x00 + t * (0xD5 - 0x00))
+        g = int(0x72 - t * 0x72 + t * 0x5E)
+        b = int(0xB2 - t * (0xB2 - 0x00))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def density_to_svg(
+    density: np.ndarray,
+    *,
+    cell: int = 48,
+    annotate: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render a ``(cols, rows)`` density map as an SVG heat map."""
+    d = np.asarray(density, dtype=float)
+    if d.ndim != 2 or d.size == 0:
+        raise ValueError("density map must be a non-empty 2-D array")
+    cols, rows = d.shape
+    width, height = cols * cell, rows * cell
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    if title:
+        parts.append(f"<title>{escape(title)}</title>")
+    for i in range(cols):
+        for j in range(rows):
+            x = i * cell
+            y = (rows - 1 - j) * cell  # row 0 at the bottom
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{_heat_color(float(d[i, j]))}" stroke="#ffffff" '
+                'stroke-width="1"/>'
+            )
+            if annotate:
+                parts.append(
+                    f'<text x="{x + cell / 2}" y="{y + cell / 2 + 3}" '
+                    f'font-size="{cell // 4}" text-anchor="middle" '
+                    f'fill="#222222">{d[i, j]:.2f}</text>'
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def density_to_ascii(density: np.ndarray, *, shades: str = " .:-=+*#%@") -> str:
+    """Render a density map as terminal art (row 0 at the bottom)."""
+    d = np.asarray(density, dtype=float)
+    if d.ndim != 2 or d.size == 0:
+        raise ValueError("density map must be a non-empty 2-D array")
+    cols, rows = d.shape
+    lines = []
+    for j in reversed(range(rows)):
+        cells = []
+        for i in range(cols):
+            level = min(len(shades) - 1, max(0, int(d[i, j] * len(shades))))
+            cells.append(shades[level] * 2)
+        lines.append("|" + "".join(cells) + "|")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Tests for the baseline fillers (tile-LP, greedy, Monte-Carlo)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    build_tile_grid,
+    greedy_fill,
+    monte_carlo_fill,
+    realize_tile_fill,
+    tile_lp_fill,
+)
+from repro.density import metal_density_map, wire_density_map, compute_metrics
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def demo_layout(seed=3):
+    import random
+
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, 800, 800), num_layers=2, rules=RULES)
+    for n in layout.layer_numbers:
+        for _ in range(30):
+            x, y = rng.randrange(0, 700), rng.randrange(0, 750)
+            layout.layer(n).add_wire(
+                Rect(x, y, min(800, x + rng.randrange(30, 120)), min(800, y + 30))
+            )
+    return layout, WindowGrid(layout.die, 2, 2)
+
+
+class TestTileSubstrate:
+    def test_build_tile_grid_partitions(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=4)
+        assert len(tg.tiles) == grid.num_windows * 16
+        total_tile_area = sum(t.area for t in tg.tiles)
+        assert total_tile_area == layout.die.area
+
+    def test_tile_free_space_excludes_wires(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=2)
+        for tile in tg.tiles:
+            for free in tile.free:
+                for wire in layout.layer(1).wires:
+                    assert not free.overlaps(wire)
+
+    def test_window_tiles_lookup(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=2)
+        assert len(tg.window_tiles(0, 0)) == 4
+
+    def test_invalid_r(self):
+        layout, grid = demo_layout()
+        with pytest.raises(ValueError):
+            build_tile_grid(layout.layer(1), grid, RULES, r=0)
+
+    def test_realize_respects_budget(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=2)
+        tile = max(tg.tiles, key=lambda t: t.free_area)
+        budget = tile.free_area // 3
+        fills = realize_tile_fill(tile, budget, RULES)
+        placed = sum(f.area for f in fills)
+        assert placed >= budget * 0.5
+        assert placed <= tile.free_area
+
+    def test_realize_zero_budget(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=2)
+        assert realize_tile_fill(tg.tiles[0], 0, RULES) == []
+
+    def test_realized_fills_legal_sizes(self):
+        layout, grid = demo_layout()
+        tg = build_tile_grid(layout.layer(1), grid, RULES, r=2)
+        for tile in tg.tiles:
+            for f in realize_tile_fill(tile, tile.free_area, RULES):
+                assert RULES.is_legal_fill(f)
+
+
+class TestTileLp:
+    def test_improves_uniformity(self):
+        layout, grid = demo_layout()
+        before = sum(
+            compute_metrics(wire_density_map(l, grid)).sigma
+            for l in layout.layers
+        )
+        report = tile_lp_fill(layout, grid, r=4)
+        after = sum(
+            compute_metrics(metal_density_map(l, grid)).sigma
+            for l in layout.layers
+        )
+        assert report.num_fills > 0
+        assert after < before
+
+    def test_lp_reports_optimal(self):
+        layout, grid = demo_layout()
+        report = tile_lp_fill(layout, grid, r=2)
+        assert all(s == "optimal" for s in report.lp_status.values())
+
+    def test_produces_many_small_fills(self):
+        # The tile-based signature the paper criticises: fills per area
+        # far above the geometric approach.
+        layout, grid = demo_layout()
+        report = tile_lp_fill(layout, grid, r=4)
+        assert report.num_fills > 100
+
+    def test_fills_avoid_wires(self):
+        layout, grid = demo_layout()
+        tile_lp_fill(layout, grid, r=2)
+        for layer in layout.layers:
+            for f in layer.fills:
+                for w in layer.wires:
+                    assert not f.overlaps(w)
+
+    def test_drc_clean(self):
+        layout, grid = demo_layout()
+        tile_lp_fill(layout, grid, r=4)
+        assert layout.check_drc() == []
+
+
+class TestGreedy:
+    def test_fills_everything(self):
+        layout, grid = demo_layout()
+        report = greedy_fill(layout, grid)
+        assert report.num_fills > 0
+        d = metal_density_map(layout.layer(1), grid)
+        assert d.mean() > 0.5  # much denser than the wires alone
+
+    def test_density_cap(self):
+        layout, grid = demo_layout()
+        greedy_fill(layout, grid, density_cap=0.4)
+        d = metal_density_map(layout.layer(1), grid)
+        # Cap plus one max-cell granularity.
+        assert d.max() <= 0.4 + (100 * 100) / grid.window_area(0, 0) + 0.05
+
+    def test_drc_clean(self):
+        layout, grid = demo_layout()
+        greedy_fill(layout, grid)
+        assert layout.check_drc() == []
+
+
+class TestMonteCarlo:
+    def test_improves_uniformity(self):
+        layout, grid = demo_layout()
+        before = sum(
+            compute_metrics(wire_density_map(l, grid)).sigma
+            for l in layout.layers
+        )
+        report = monte_carlo_fill(layout, grid, seed=11)
+        after = sum(
+            compute_metrics(metal_density_map(l, grid)).sigma
+            for l in layout.layers
+        )
+        assert report.num_fills > 0
+        assert report.iterations >= report.num_fills
+        assert after < before
+
+    def test_seed_reproducible(self):
+        l1, g1 = demo_layout()
+        l2, g2 = demo_layout()
+        monte_carlo_fill(l1, g1, seed=5)
+        monte_carlo_fill(l2, g2, seed=5)
+        for n in l1.layer_numbers:
+            assert sorted(l1.layer(n).fills) == sorted(l2.layer(n).fills)
+
+    def test_different_seeds_differ(self):
+        l1, g1 = demo_layout()
+        l2, g2 = demo_layout()
+        monte_carlo_fill(l1, g1, seed=5)
+        monte_carlo_fill(l2, g2, seed=6)
+        fills1 = sorted(r for n in l1.layer_numbers for r in l1.layer(n).fills)
+        fills2 = sorted(r for n in l2.layer_numbers for r in l2.layer(n).fills)
+        assert fills1 != fills2
+
+    def test_drc_clean(self):
+        layout, grid = demo_layout()
+        monte_carlo_fill(layout, grid, seed=11)
+        assert layout.check_drc() == []
+
+    def test_iteration_cap_respected(self):
+        layout, grid = demo_layout()
+        report = monte_carlo_fill(layout, grid, max_iterations=10)
+        assert report.iterations <= 10
+
+    def test_explicit_target(self):
+        layout, grid = demo_layout()
+        monte_carlo_fill(layout, grid, target_density=0.5, seed=2)
+        d = metal_density_map(layout.layer(1), grid)
+        assert d.mean() > 0.3

@@ -1,0 +1,145 @@
+"""Tests for the benchmark generator, the scaled suite, and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    LayoutSpec,
+    SUITE_SPECS,
+    benchmark_names,
+    calibrate_weights,
+    generate_layout,
+    load_benchmark,
+)
+from repro.density import metal_density_map, wire_density_map, compute_metrics
+from repro.layout import WindowGrid
+
+
+class TestGenerator:
+    def small_spec(self, **overrides):
+        fields = dict(
+            name="t",
+            die_size=2000,
+            seed=99,
+            num_cell_rects=120,
+            num_bus_bundles=2,
+            num_macros=1,
+            hotspot_columns=(0.3,),
+            cold_windows=1,
+        )
+        fields.update(overrides)
+        return LayoutSpec(**fields)
+
+    def test_deterministic(self):
+        a = generate_layout(self.small_spec())
+        b = generate_layout(self.small_spec())
+        for n in a.layer_numbers:
+            assert a.layer(n).wires == b.layer(n).wires
+
+    def test_seed_changes_layout(self):
+        a = generate_layout(self.small_spec())
+        b = generate_layout(self.small_spec(seed=100))
+        assert a.layer(1).wires != b.layer(1).wires
+
+    def test_wires_inside_die(self):
+        layout = generate_layout(self.small_spec())
+        assert layout.validate_wires_in_die() == []
+
+    def test_layer_count(self):
+        layout = generate_layout(self.small_spec(num_layers=5))
+        assert layout.num_layers == 5
+
+    def test_density_profile_moderate(self):
+        # Realistic wire densities: no window close to solid metal.
+        layout = generate_layout(self.small_spec())
+        grid = WindowGrid(layout.die, 4, 4)
+        for layer in layout.layers:
+            d = wire_density_map(layer, grid)
+            assert d.max() < 0.85
+            assert d.mean() > 0.02
+
+    def test_gradient_denser_on_left(self):
+        layout = generate_layout(
+            self.small_spec(density_gradient=0.9, num_cell_rects=600,
+                            num_bus_bundles=0, num_macros=0,
+                            hotspot_columns=(), cold_windows=0)
+        )
+        grid = WindowGrid(layout.die, 4, 4)
+        d = wire_density_map(layout.layer(1), grid)
+        assert d[:2].mean() > d[2:].mean()
+
+    def test_cold_windows_create_sparse_regions(self):
+        dense = generate_layout(self.small_spec(cold_windows=0))
+        cold = generate_layout(self.small_spec(cold_windows=3))
+        assert cold.num_wires < dense.num_wires
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            LayoutSpec(name="x", die_size=0)
+        with pytest.raises(ValueError):
+            LayoutSpec(name="x", die_size=100, density_gradient=2.0)
+
+
+class TestSuite:
+    def test_names(self):
+        assert benchmark_names() == ("s", "b", "m")
+
+    def test_size_progression(self):
+        sizes = [spec.die_size for spec, _, _, _ in SUITE_SPECS.values()]
+        assert sizes == sorted(sizes)
+
+    def test_load_s(self):
+        bench = load_benchmark("s")
+        assert bench.name == "s"
+        assert bench.num_wires > 500
+        assert bench.input_size_mb > 0
+        assert bench.grid.num_windows == 64
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_benchmark("xl")
+
+    def test_fresh_layout_unfilled_copy(self):
+        bench = load_benchmark("s")
+        fresh = bench.fresh_layout()
+        assert fresh.num_fills == 0
+        assert fresh.num_wires == bench.num_wires
+        fresh.layer(1).clear_fills()  # must not affect the master
+        assert bench.layout.num_wires == fresh.num_wires
+
+
+class TestCalibration:
+    def test_betas_positive(self):
+        bench = load_benchmark("s")
+        w = bench.weights
+        for name in (
+            "beta_overlay",
+            "beta_variation",
+            "beta_line",
+            "beta_outlier",
+            "beta_size",
+            "beta_runtime",
+            "beta_memory",
+        ):
+            assert getattr(w, name) > 0
+
+    def test_density_betas_match_unfilled_metrics(self):
+        bench = load_benchmark("s")
+        sigma = line = 0.0
+        for layer in bench.layout.layers:
+            m = compute_metrics(metal_density_map(layer, bench.grid))
+            sigma += m.sigma
+            line += m.line
+        assert bench.weights.beta_variation == pytest.approx(sigma)
+        assert bench.weights.beta_line == pytest.approx(line)
+
+    def test_unfilled_layout_scores_zero_density(self):
+        # By construction the unfilled layout sits exactly at beta:
+        # its variation/line scores are 0 (nothing improved).
+        from repro.density import score_layout
+
+        bench = load_benchmark("s")
+        card = score_layout(bench.fresh_layout(), bench.grid, bench.weights)
+        assert card.variation == pytest.approx(0.0, abs=1e-9)
+        assert card.line == pytest.approx(0.0, abs=1e-9)
+        assert card.overlay == 1.0  # no fills -> no overlay

@@ -1,0 +1,72 @@
+"""Tests for FillConfig validation and derived knobs."""
+
+import pytest
+
+from repro.core import FillConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        FillConfig()
+
+    def test_lambda_below_one_rejected(self):
+        # Alg. 1 line 8: λ >= 1.
+        with pytest.raises(ValueError):
+            FillConfig(lambda_factor=0.9)
+
+    def test_lambda_exactly_one_allowed(self):
+        FillConfig(lambda_factor=1.0)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(gamma=-0.1)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(eta=-1)
+
+    def test_td_step_bounds(self):
+        with pytest.raises(ValueError):
+            FillConfig(td_step=0.0)
+        with pytest.raises(ValueError):
+            FillConfig(td_step=0.6)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(sizing_iterations=-1)
+
+    def test_tiny_step_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(sizing_step=0)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(solver="gurobi")
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(window_margin=-1)
+
+
+class TestDerivedKnobs:
+    def test_effective_margin_default_half_spacing(self):
+        assert FillConfig().effective_margin(10) == 5
+        assert FillConfig().effective_margin(11) == 6  # ceil
+
+    def test_effective_margin_explicit(self):
+        assert FillConfig(window_margin=3).effective_margin(10) == 3
+
+    def test_effective_step_default_quarter_cell(self):
+        assert FillConfig().effective_step(100, 100) == 25
+        assert FillConfig().effective_step(200, 100) == 25
+
+    def test_effective_step_floor(self):
+        assert FillConfig().effective_step(4, 4) == 2
+
+    def test_effective_step_explicit(self):
+        assert FillConfig(sizing_step=7).effective_step(100, 100) == 7
+
+    def test_frozen(self):
+        config = FillConfig()
+        with pytest.raises(Exception):
+            config.eta = 2.0

@@ -1,0 +1,148 @@
+"""Tests for target density planning (§3.1, Eqns. (5)-(7))."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import (
+    DensityPlan,
+    LayerPlan,
+    PlannerObjective,
+    plan_targets,
+)
+from repro.density.analysis import LayerDensity
+from repro.density.scoring import ScoreWeights
+
+
+def make_density(lower, upper, layer=1):
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    return LayerDensity(layer, lower, upper, fill_regions={})
+
+
+class TestCaseI:
+    """Eqn. (6): td = max l(k,n) when every window can reach it."""
+
+    def test_trivial_uniform_solution(self):
+        ld = make_density(
+            [[0.1, 0.3], [0.2, 0.25]],
+            [[0.9, 0.9], [0.9, 0.9]],
+        )
+        plan = plan_targets({1: ld})
+        assert plan.layers[1].case == "I"
+        assert plan.td(1) == pytest.approx(0.3)
+        # Perfectly uniform: every window hits the target exactly.
+        assert np.allclose(plan.target(1), 0.3)
+
+    def test_target_clamps_to_lower(self):
+        ld = make_density([[0.1, 0.5]], [[0.9, 0.9]])
+        plan = plan_targets({1: ld})
+        assert plan.target(1)[0, 1] == pytest.approx(0.5)
+
+    def test_case1_flat_map_has_zero_score_penalty(self):
+        ld = make_density([[0.2, 0.2]], [[1.0, 1.0]])
+        plan = plan_targets({1: ld})
+        assert plan.score == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCaseII:
+    """Eqn. (7): some window's upper bound is below max l(k,n)."""
+
+    def test_detected(self):
+        ld = make_density(
+            [[0.9, 0.1], [0.1, 0.1]],
+            [[0.95, 0.7], [0.7, 0.7]],  # others cannot reach 0.9
+        )
+        assert ld.has_constrained_window
+        plan = plan_targets({1: ld})
+        assert plan.layers[1].case == "II"
+
+    def test_search_prefers_reachable_uniformity(self):
+        # One hot window at 0.9; everyone else capped at 0.7.  Planning
+        # at td=0.9 leaves a 0.2 gap in 3 windows; td=0.7 leaves only
+        # the hot window deviating.
+        ld = make_density(
+            [[0.9, 0.1], [0.1, 0.1]],
+            [[0.95, 0.7], [0.7, 0.7]],
+        )
+        plan = plan_targets({1: ld}, td_step=0.01)
+        assert plan.td(1) <= 0.75
+
+    def test_eqn5_clamping(self):
+        ld = make_density(
+            [[0.9, 0.1], [0.1, 0.1]],
+            [[0.95, 0.7], [0.7, 0.7]],
+        )
+        plan = plan_targets({1: ld}, td_step=0.01)
+        td = plan.td(1)
+        target = plan.target(1)
+        # Eqn. (5): d = clamp(td, l, u) everywhere.
+        expected = np.clip(td, ld.lower, ld.upper)
+        assert np.allclose(target, expected)
+
+    def test_search_range_endpoints_included(self):
+        ld = make_density([[0.5, 0.1]], [[0.9, 0.45]])
+        plan = plan_targets({1: ld}, td_step=0.2)  # coarse grid
+        assert 0.45 - 1e-9 <= plan.td(1) <= 0.5 + 1e-9
+
+
+class TestMultiLayer:
+    def test_independent_case1_layers(self):
+        a = make_density([[0.2, 0.1]], [[1.0, 1.0]], layer=1)
+        b = make_density([[0.4, 0.3]], [[1.0, 1.0]], layer=2)
+        plan = plan_targets({1: a, 2: b})
+        assert plan.td(1) == pytest.approx(0.2)
+        assert plan.td(2) == pytest.approx(0.4)
+
+    def test_joint_search_mixed_cases(self):
+        a = make_density([[0.2, 0.1]], [[1.0, 1.0]], layer=1)  # Case I
+        b = make_density([[0.8, 0.1]], [[0.9, 0.5]], layer=2)  # Case II
+        plan = plan_targets({1: a, 2: b}, td_step=0.05)
+        assert plan.layers[1].case == "I"
+        assert plan.layers[2].case == "II"
+
+    def test_empty_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            plan_targets({})
+
+
+class TestObjective:
+    def test_from_score_weights(self):
+        w = ScoreWeights(
+            beta_overlay=1,
+            beta_variation=0.1,
+            beta_line=10,
+            beta_outlier=0.01,
+            beta_size=1,
+            beta_runtime=1,
+            beta_memory=1,
+        )
+        obj = PlannerObjective.from_score_weights(w)
+        assert obj.beta_sigma == 0.1
+        assert obj.alpha_line == w.alpha_line
+
+    def test_score_monotone_in_sigma(self):
+        obj = PlannerObjective()
+        assert obj.score(0.1, 1.0, 0.0) > obj.score(0.2, 1.0, 0.0)
+
+    def test_score_uses_product_outlier_form(self):
+        obj = PlannerObjective(alpha_sigma=0, alpha_line=0, alpha_outlier=1)
+        # Doubling either factor of sigma*oh doubles the penalty.
+        assert obj.score(0.2, 0, 1.0) == pytest.approx(
+            2 * obj.score(0.1, 0, 1.0)
+        )
+
+
+class TestLayerPlan:
+    def test_target_fill_area(self):
+        lp = LayerPlan(1, 0.5, np.array([[0.5, 0.5]]), "I")
+        lower = np.array([[0.2, 0.6]])
+        window_area = np.array([[100.0, 100.0]])
+        need = lp.target_fill_area(lower, window_area)
+        assert need[0, 0] == pytest.approx(30.0)
+        assert need[0, 1] == 0.0  # already above target
+
+    def test_plan_accessors(self):
+        ld = make_density([[0.1]], [[1.0]])
+        plan = plan_targets({1: ld})
+        assert isinstance(plan, DensityPlan)
+        assert plan.target(1).shape == (1, 1)

@@ -1,0 +1,100 @@
+"""Property-based tests on the density planner (§3.1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.planner import PlannerObjective, plan_targets
+from repro.density.analysis import LayerDensity
+from repro.density.metrics import line_hotspots, outlier_hotspots, variation
+
+
+@st.composite
+def layer_densities(draw, layer=1):
+    shape = draw(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),
+            st.integers(min_value=1, max_value=5),
+        )
+    )
+    lower = draw(
+        arrays(
+            np.float64,
+            shape,
+            elements=st.floats(min_value=0.0, max_value=0.8),
+        )
+    )
+    slack = draw(
+        arrays(
+            np.float64,
+            shape,
+            elements=st.floats(min_value=0.0, max_value=0.5),
+        )
+    )
+    upper = np.minimum(1.0, lower + slack)
+    return LayerDensity(layer, lower, upper, fill_regions={})
+
+
+class TestPlannerInvariants:
+    @given(layer_densities())
+    @settings(max_examples=60, deadline=None)
+    def test_target_within_bounds(self, ld):
+        plan = plan_targets({1: ld})
+        target = plan.target(1)
+        assert np.all(target >= ld.lower - 1e-9)
+        assert np.all(target <= ld.upper + 1e-9)
+
+    @given(layer_densities())
+    @settings(max_examples=60, deadline=None)
+    def test_eqn5_clamping(self, ld):
+        plan = plan_targets({1: ld})
+        td = plan.td(1)
+        assert np.allclose(plan.target(1), np.clip(td, ld.lower, ld.upper))
+
+    @given(layer_densities())
+    @settings(max_examples=60, deadline=None)
+    def test_case_detection_matches_eqn7(self, ld):
+        plan = plan_targets({1: ld})
+        expected = "II" if ld.has_constrained_window else "I"
+        assert plan.layers[1].case == expected
+
+    @given(layer_densities())
+    @settings(max_examples=60, deadline=None)
+    def test_case1_uses_eqn6(self, ld):
+        plan = plan_targets({1: ld})
+        if plan.layers[1].case == "I":
+            assert plan.td(1) == float(ld.lower.max())
+
+    @given(layer_densities(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_chosen_td_not_worse_than_probe(self, ld, probe_frac):
+        """On a single layer the planner's td must score at least as
+        well as any probe td inside the search band."""
+        plan = plan_targets({1: ld}, td_step=0.01)
+        obj = PlannerObjective()
+
+        def score_of(td):
+            d = np.clip(td, ld.lower, ld.upper)
+            return obj.score(
+                variation(d), line_hotspots(d), outlier_hotspots(d)
+            )
+
+        lo = min(ld.min_upper, ld.max_lower)
+        probe = lo + probe_frac * (ld.max_lower - lo)
+        assert score_of(plan.td(1)) >= score_of(probe) - 1e-6
+
+    @given(layer_densities(layer=1), layer_densities(layer=2))
+    @settings(max_examples=30, deadline=None)
+    def test_multilayer_all_planned(self, a, b):
+        plan = plan_targets({1: a, 2: b})
+        assert set(plan.layers) == {1, 2}
+        for n, ld in ((1, a), (2, b)):
+            assert np.all(plan.target(n) <= ld.upper + 1e-9)
+
+    @given(layer_densities())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, ld):
+        p1 = plan_targets({1: ld}, td_step=0.05)
+        p2 = plan_targets({1: ld}, td_step=0.05)
+        assert p1.td(1) == p2.td(1)

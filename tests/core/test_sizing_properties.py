@@ -1,0 +1,129 @@
+"""Property-based tests on the sizing invariants (§3.3).
+
+Random window instances (candidate grids, wires, targets) must always
+satisfy the structural guarantees the engine relies on:
+
+* fills only shrink (each output fill sits inside its candidate),
+* the output is DRC-clean,
+* total fill area never exceeds the candidate area,
+* the pass is deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FillConfig
+from repro.core.sizing import size_window
+from repro.geometry import Rect
+from repro.layout import DrcRules, check_fills
+
+RULES = DrcRules(
+    min_spacing=10,
+    min_width=10,
+    min_area=200,
+    max_fill_width=80,
+    max_fill_height=80,
+)
+WINDOW = Rect(0, 0, 400, 400)
+
+
+@st.composite
+def window_instances(draw):
+    """A random sizing instance: candidates on 1-2 layers plus wires."""
+    layers = draw(st.integers(min_value=1, max_value=2))
+    candidates = {}
+    positions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        )
+    )
+    for layer in range(1, layers + 1):
+        rects = []
+        for gx, gy in positions:
+            if draw(st.booleans()):
+                continue
+            w = draw(st.integers(min_value=20, max_value=80))
+            h = draw(st.integers(min_value=20, max_value=80))
+            x = gx * 100
+            y = gy * 100
+            rects.append(Rect(x, y, x + w, y + h))
+        candidates[layer] = rects
+    total = sum(r.area for rects in candidates.values() for r in rects)
+    fraction = draw(st.floats(min_value=0.0, max_value=1.2))
+    targets = {layer: fraction * total / max(1, len(candidates))
+               for layer in candidates}
+    wires = {}
+    for layer in range(1, layers + 1):
+        adjacent = layer + 1 if layer + 1 <= layers else layer - 1
+        if adjacent >= 1 and draw(st.booleans()):
+            wx = draw(st.integers(min_value=0, max_value=300))
+            wires[adjacent] = [Rect(wx, 0, wx + 60, 400)]
+    for layer in range(1, layers + 1):
+        wires.setdefault(layer, [])
+    return candidates, wires, targets
+
+
+class TestSizingInvariants:
+    @given(window_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_shrink_only(self, instance):
+        candidates, wires, targets = instance
+        sized, _ = size_window(
+            WINDOW, candidates, wires, targets, RULES, FillConfig()
+        )
+        for layer, fills in sized.items():
+            for fill in fills:
+                hosts = [c for c in candidates[layer] if c.contains(fill)]
+                assert hosts, f"{fill} is not inside any candidate"
+
+    @given(window_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_drc_clean(self, instance):
+        candidates, wires, targets = instance
+        sized, _ = size_window(
+            WINDOW, candidates, wires, targets, RULES, FillConfig()
+        )
+        for layer, fills in sized.items():
+            assert check_fills(fills, [], RULES) == []
+
+    @given(window_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_area_never_exceeds_candidates(self, instance):
+        candidates, wires, targets = instance
+        sized, _ = size_window(
+            WINDOW, candidates, wires, targets, RULES, FillConfig()
+        )
+        for layer, fills in sized.items():
+            cand_area = sum(c.area for c in candidates[layer])
+            assert sum(f.area for f in fills) <= cand_area
+
+    @given(window_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, instance):
+        candidates, wires, targets = instance
+        a, _ = size_window(WINDOW, candidates, wires, targets, RULES, FillConfig())
+        b, _ = size_window(WINDOW, candidates, wires, targets, RULES, FillConfig())
+        assert a == b
+
+    @given(window_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_solver_backends_equivalent_objective(self, instance):
+        candidates, wires, targets = instance
+        ssp, _ = size_window(
+            WINDOW, candidates, wires, targets, RULES, FillConfig(solver="mcf-ssp")
+        )
+        lp, _ = size_window(
+            WINDOW, candidates, wires, targets, RULES, FillConfig(solver="lp")
+        )
+        # Both backends solve each pass exactly; identical LPs can have
+        # multiple optima, but the realised fill AREA per layer matches.
+        for layer in candidates:
+            assert sum(f.area for f in ssp.get(layer, [])) == sum(
+                f.area for f in lp.get(layer, [])
+            )

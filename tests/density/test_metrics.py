@@ -1,0 +1,129 @@
+"""Tests for the density metrics of §2.2 (Eqns. (1) and (2))."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.density import (
+    compute_metrics,
+    line_hotspots,
+    outlier_hotspots,
+    variation,
+)
+
+density_maps = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    ),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestVariation:
+    def test_uniform_is_zero(self):
+        assert variation(np.full((4, 4), 0.3)) == 0.0
+
+    def test_known_value(self):
+        d = np.array([[0.0, 1.0]])
+        assert variation(d) == pytest.approx(0.5)
+
+    def test_population_std(self):
+        d = np.array([[0.1, 0.2], [0.3, 0.4]])
+        assert variation(d) == pytest.approx(np.std([0.1, 0.2, 0.3, 0.4]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            variation(np.array([0.1, 0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            variation(np.zeros((0, 3)))
+
+
+class TestLineHotspots:
+    def test_uniform_is_zero(self):
+        assert line_hotspots(np.full((3, 5), 0.42)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_eqn1_hand_computed(self):
+        # 2 columns x 3 rows; Eqn. (1): sum |d(i,j) - column mean|.
+        d = np.array([[0.1, 0.2, 0.3], [0.5, 0.5, 0.5]])
+        # Column 0 mean 0.2 -> deviations 0.1 + 0 + 0.1 = 0.2; column 1: 0.
+        assert line_hotspots(d) == pytest.approx(0.2)
+
+    def test_column_uniform_row_gradient(self):
+        # Each column constant: no line hotspots even with cross-column
+        # differences.
+        d = np.array([[0.1, 0.1], [0.9, 0.9]])
+        assert line_hotspots(d) == 0.0
+
+    def test_row_gradient_within_column_scores(self):
+        d = np.array([[0.0, 1.0]])  # one column with a gradient
+        assert line_hotspots(d) == pytest.approx(1.0)
+
+
+class TestOutlierHotspots:
+    def test_uniform_is_zero(self):
+        assert outlier_hotspots(np.full((4, 4), 0.5)) == 0.0
+
+    def test_mild_variation_inside_3sigma(self):
+        d = np.array([[0.4, 0.5], [0.5, 0.6]])
+        assert outlier_hotspots(d) == 0.0
+
+    def test_eqn2_single_outlier(self):
+        # 99 windows at 0.5, one at 1.0: the outlier exceeds 3 sigma.
+        d = np.full((10, 10), 0.5)
+        d[0, 0] = 1.0
+        sigma = np.std(d)
+        expected = max(0.0, abs(1.0 - d.mean()) - 3 * sigma)
+        assert outlier_hotspots(d) == pytest.approx(expected)
+
+    def test_nonnegative(self):
+        d = np.array([[0.2, 0.8], [0.5, 0.5]])
+        assert outlier_hotspots(d) >= 0.0
+
+
+class TestComputeMetrics:
+    def test_bundles_all(self):
+        d = np.array([[0.1, 0.2], [0.3, 0.4]])
+        m = compute_metrics(d)
+        assert m.sigma == pytest.approx(variation(d))
+        assert m.line == pytest.approx(line_hotspots(d))
+        assert m.outlier == pytest.approx(outlier_hotspots(d))
+        assert m.mean == pytest.approx(0.25)
+
+    def test_str(self):
+        m = compute_metrics(np.full((2, 2), 0.5))
+        assert "sigma=" in str(m)
+
+
+class TestProperties:
+    @given(density_maps)
+    def test_all_metrics_nonnegative(self, d):
+        assert variation(d) >= 0.0
+        assert line_hotspots(d) >= 0.0
+        assert outlier_hotspots(d) >= 0.0
+
+    @given(density_maps)
+    def test_shift_invariance_of_sigma_and_line(self, d):
+        shifted = np.clip(d + 0.1, 0, None)
+        if np.all(d + 0.1 == shifted):
+            assert variation(shifted) == pytest.approx(variation(d))
+            assert line_hotspots(shifted) == pytest.approx(line_hotspots(d))
+
+    @given(density_maps)
+    def test_line_bounded_by_total_deviation(self, d):
+        # Column-mean deviations cannot exceed deviations from any value.
+        total = np.abs(d - d.mean()).sum()
+        tol = 1e-9 * max(1.0, total)
+        assert line_hotspots(d) <= 2 * total + tol
+
+    @given(density_maps)
+    def test_uniform_map_all_zero(self, d):
+        uniform = np.full_like(d, float(d.flat[0]))
+        assert variation(uniform) == pytest.approx(0.0, abs=1e-12)
+        assert line_hotspots(uniform) == pytest.approx(0.0, abs=1e-10)
+        assert outlier_hotspots(uniform) == pytest.approx(0.0, abs=1e-10)

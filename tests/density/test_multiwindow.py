@@ -1,0 +1,109 @@
+"""Tests for the multi-window (sliding dissection) analysis (ref. [3])."""
+
+import numpy as np
+import pytest
+
+from repro.density.multiwindow import (
+    MultiWindowGrid,
+    MultiWindowMetrics,
+    multiwindow_metrics,
+)
+from repro.geometry import Rect
+from repro.layout import Layout, WindowGrid
+
+
+def make_layout():
+    layout = Layout(Rect(0, 0, 800, 800), num_layers=1)
+    return layout, WindowGrid(layout.die, 4, 4)  # 200x200 windows
+
+
+class TestGrid:
+    def test_phase_count(self):
+        _, base = make_layout()
+        mw = MultiWindowGrid(base, r=2)
+        assert mw.num_phases == 4
+        assert len(list(mw.phases())) == 4
+
+    def test_invalid_r(self):
+        _, base = make_layout()
+        with pytest.raises(ValueError):
+            MultiWindowGrid(base, r=0)
+
+    def test_indivisible_window_rejected(self):
+        _, base = make_layout()
+        with pytest.raises(ValueError):
+            MultiWindowGrid(base, r=3)  # 200 not divisible by 3
+
+    def test_phase_zero_is_base(self):
+        _, base = make_layout()
+        mw = MultiWindowGrid(base, r=2)
+        phases = {(a, b): g for a, b, g in mw.phases()}
+        g00 = phases[(0, 0)]
+        assert g00.cols == base.cols and g00.rows == base.rows
+        assert g00.window(0, 0) == base.window(0, 0)
+
+    def test_shifted_phase_drops_boundary(self):
+        _, base = make_layout()
+        mw = MultiWindowGrid(base, r=2)
+        phases = {(a, b): g for a, b, g in mw.phases()}
+        g11 = phases[(1, 1)]
+        # Shift by 100: only 3 full 200-windows fit per axis.
+        assert (g11.cols, g11.rows) == (3, 3)
+        assert g11.window(0, 0) == Rect(100, 100, 300, 300)
+
+    def test_r1_single_phase(self):
+        _, base = make_layout()
+        mw = MultiWindowGrid(base, r=1)
+        assert mw.num_phases == 1
+
+
+class TestMetrics:
+    def test_uniform_layout_all_zero(self):
+        layout, base = make_layout()
+        # Perfectly periodic fill at the window pitch: uniform at every
+        # phase.
+        for x in range(0, 800, 100):
+            for y in range(0, 800, 100):
+                layout.layer(1).add_fill(Rect(x, y, x + 50, y + 50))
+        m = multiwindow_metrics(layout.layer(1), MultiWindowGrid(base, r=2))
+        assert m.worst_sigma == pytest.approx(0.0, abs=1e-12)
+        assert m.base.sigma == pytest.approx(0.0, abs=1e-12)
+
+    def test_boundary_straddling_hotspot_detected(self):
+        layout, base = make_layout()
+        # A dense block centred on the corner of four base windows: each
+        # base window sees only a quarter of it, the shifted phase sees
+        # it whole.
+        layout.layer(1).add_wire(Rect(100, 100, 300, 300))
+        m = multiwindow_metrics(
+            layout.layer(1), MultiWindowGrid(base, r=2), include_fills=False
+        )
+        assert m.worst_sigma > m.base.sigma
+        assert m.max_density == pytest.approx(1.0)
+        assert m.sigma_underestimate > 0.2
+
+    def test_worst_bounds_base(self):
+        layout, base = make_layout()
+        import random
+
+        rng = random.Random(4)
+        for _ in range(60):
+            x, y = rng.randrange(0, 700), rng.randrange(0, 700)
+            layout.layer(1).add_wire(Rect(x, y, x + 80, y + 40))
+        m = multiwindow_metrics(
+            layout.layer(1), MultiWindowGrid(base, r=2), include_fills=False
+        )
+        assert m.worst_sigma >= m.base.sigma - 1e-12
+        assert m.worst_line >= 0
+        assert m.min_density <= m.max_density
+
+    def test_include_fills_flag(self):
+        layout, base = make_layout()
+        layout.layer(1).add_fill(Rect(0, 0, 200, 200))
+        with_fills = multiwindow_metrics(
+            layout.layer(1), MultiWindowGrid(base, r=2)
+        )
+        without = multiwindow_metrics(
+            layout.layer(1), MultiWindowGrid(base, r=2), include_fills=False
+        )
+        assert with_fills.max_density > without.max_density

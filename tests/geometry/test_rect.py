@@ -1,0 +1,190 @@
+"""Unit tests for the Rect primitive."""
+
+import pytest
+
+from repro.geometry import Rect, bounding_box
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        r = Rect(1, 2, 5, 9)
+        assert (r.xl, r.yl, r.xh, r.yh) == (1, 2, 5, 9)
+
+    def test_malformed_x_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 1, 10)
+
+    def test_malformed_y_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 10, 5, 1)
+
+    def test_degenerate_allowed(self):
+        assert Rect(3, 3, 3, 7).is_degenerate
+        assert Rect(0, 0, 0, 0).is_degenerate
+
+    def test_negative_coordinates(self):
+        r = Rect(-10, -20, -5, -1)
+        assert r.width == 5
+        assert r.height == 19
+
+    def test_unpacking(self):
+        xl, yl, xh, yh = Rect(1, 2, 3, 4)
+        assert (xl, yl, xh, yh) == (1, 2, 3, 4)
+
+    def test_hashable_and_equal(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert len({Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)}) == 1
+
+    def test_ordering_is_lexicographic(self):
+        assert Rect(0, 0, 1, 1) < Rect(0, 1, 1, 2)
+        assert Rect(0, 0, 1, 1) < Rect(1, 0, 2, 1)
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect(0, 0, 4, 5).area == 20
+
+    def test_zero_area(self):
+        assert Rect(2, 2, 2, 9).area == 0
+
+    def test_min_side(self):
+        assert Rect(0, 0, 3, 7).min_side == 3
+
+    def test_center_half_integral(self):
+        assert Rect(0, 0, 3, 4).center == (1.5, 2.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(10, 10)
+        assert not r.contains_point(11, 5)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 8, 8))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect(5, 5, 11, 8))
+
+    def test_overlaps_requires_positive_area(self):
+        a = Rect(0, 0, 5, 5)
+        assert a.overlaps(Rect(4, 4, 8, 8))
+        assert not a.overlaps(Rect(5, 0, 9, 5))  # shared edge only
+
+    def test_touches_includes_shared_edge(self):
+        a = Rect(0, 0, 5, 5)
+        assert a.touches(Rect(5, 0, 9, 5))
+        assert a.touches(Rect(5, 5, 9, 9))  # shared corner
+        assert not a.touches(Rect(6, 6, 9, 9))
+
+
+class TestIntersection:
+    def test_intersection_basic(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 7, 7)) is None
+
+    def test_intersection_edge_touch_is_none(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(5, 0, 9, 5)) is None
+
+    def test_intersection_area_matches(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection_area(b) == 25
+        assert a.intersection_area(Rect(20, 20, 30, 30)) == 0
+
+    def test_intersection_symmetric(self):
+        a = Rect(0, 0, 10, 4)
+        b = Rect(3, 1, 7, 9)
+        assert a.intersection(b) == b.intersection(a)
+
+
+class TestTransforms:
+    def test_expanded(self):
+        assert Rect(5, 5, 10, 10).expanded(2) == Rect(3, 3, 12, 12)
+
+    def test_expanded_negative_raises_when_inverted(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 4, 4).expanded(-3)
+
+    def test_shrunk(self):
+        assert Rect(0, 0, 10, 10).shrunk(3) == Rect(3, 3, 7, 7)
+
+    def test_shrunk_to_nothing_is_none(self):
+        assert Rect(0, 0, 4, 10).shrunk(2) is None
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(5, -1) == Rect(5, -1, 7, 1)
+
+    def test_union_bbox(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, -1, 7, 1)
+        assert a.union_bbox(b) == Rect(0, -1, 7, 2)
+
+
+class TestGaps:
+    def test_gap_x_disjoint(self):
+        assert Rect(0, 0, 2, 2).gap_x(Rect(7, 0, 9, 2)) == 5
+
+    def test_gap_x_overlapping_is_zero(self):
+        assert Rect(0, 0, 5, 2).gap_x(Rect(3, 0, 9, 2)) == 0
+
+    def test_gap_y(self):
+        assert Rect(0, 0, 2, 2).gap_y(Rect(0, 6, 2, 8)) == 4
+
+    def test_euclidean_gap_diagonal(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 6, 8, 9)
+        assert a.euclidean_gap(b) == 5.0  # 3-4-5 triangle
+
+    def test_euclidean_gap_touching_is_zero(self):
+        assert Rect(0, 0, 2, 2).euclidean_gap(Rect(2, 2, 4, 4)) == 0.0
+
+
+class TestSubtract:
+    def test_subtract_disjoint_returns_self(self):
+        a = Rect(0, 0, 5, 5)
+        assert a.subtract(Rect(9, 9, 12, 12)) == [a]
+
+    def test_subtract_contained_hole(self):
+        a = Rect(0, 0, 10, 10)
+        pieces = a.subtract(Rect(3, 3, 7, 7))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == 100 - 16
+        for p in pieces:
+            assert a.contains(p)
+            assert not p.overlaps(Rect(3, 3, 7, 7))
+
+    def test_subtract_covering_returns_empty(self):
+        assert Rect(2, 2, 4, 4).subtract(Rect(0, 0, 10, 10)) == []
+
+    def test_subtract_pieces_disjoint(self):
+        a = Rect(0, 0, 10, 10)
+        pieces = a.subtract(Rect(5, 5, 15, 15))
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1 :]:
+                assert not p.overlaps(q)
+
+    def test_subtract_half(self):
+        pieces = Rect(0, 0, 10, 10).subtract(Rect(0, 0, 10, 5))
+        assert pieces == [Rect(0, 5, 10, 10)]
+
+
+class TestBoundingBox:
+    def test_empty_is_none(self):
+        assert bounding_box([]) is None
+
+    def test_single(self):
+        r = Rect(1, 2, 3, 4)
+        assert bounding_box([r]) == r
+
+    def test_multiple(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -2, 6, 0), Rect(-3, 4, 0, 9)]
+        assert bounding_box(rects) == Rect(-3, -2, 6, 9)
+
+    def test_corners_ccw(self):
+        assert Rect(0, 0, 2, 3).corners() == ((0, 0), (2, 0), (2, 3), (0, 3))

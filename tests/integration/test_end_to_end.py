@@ -1,0 +1,209 @@
+"""Cross-module integration tests: the full pipeline on one layout.
+
+These tests exercise the complete paper flow — generation, analysis,
+planning, candidates, sizing, insertion, scoring, GDSII round-trip —
+and assert the *invariants* a solution must satisfy regardless of
+tuning: DRC cleanliness, density improvement, score consistency and
+format fidelity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.generator import LayoutSpec, generate_layout
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import (
+    ScoreWeights,
+    compute_metrics,
+    measure_raw_components,
+    metal_density_map,
+    score_layout,
+    wire_density_map,
+)
+from repro.gdsii import gdsii_bytes, layout_from_gdsii
+from repro.layout import DrcRules, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=400, max_fill_width=150, max_fill_height=150
+)
+
+
+@pytest.fixture(scope="module")
+def filled():
+    spec = LayoutSpec(
+        name="integration",
+        die_size=2400,
+        seed=77,
+        num_cell_rects=250,
+        num_bus_bundles=2,
+        num_macros=1,
+        hotspot_columns=(0.4,),
+        cold_windows=1,
+        rules=RULES,
+    )
+    layout = generate_layout(spec)
+    grid = WindowGrid(layout.die, 6, 6)
+    unfilled = layout.copy_without_fills()
+    report = DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
+    return layout, unfilled, grid, report
+
+
+class TestSolutionInvariants:
+    def test_drc_clean(self, filled):
+        layout, _, _, _ = filled
+        assert layout.check_drc() == []
+
+    def test_fills_inside_die(self, filled):
+        layout, _, _, _ = filled
+        for layer in layout.layers:
+            for f in layer.fills:
+                assert layout.die.contains(f)
+
+    def test_fills_never_touch_wires(self, filled):
+        layout, _, _, _ = filled
+        for layer in layout.layers:
+            for f in layer.fills:
+                for w in layer.wires:
+                    assert not f.overlaps(w)
+
+    def test_variation_improves_every_layer(self, filled):
+        layout, unfilled, grid, _ = filled
+        for n in layout.layer_numbers:
+            before = compute_metrics(
+                wire_density_map(unfilled.layer(n), grid)
+            ).sigma
+            after = compute_metrics(
+                metal_density_map(layout.layer(n), grid)
+            ).sigma
+            assert after < before
+
+    def test_line_hotspots_improve_in_total(self, filled):
+        layout, unfilled, grid, _ = filled
+        before = sum(
+            compute_metrics(wire_density_map(unfilled.layer(n), grid)).line
+            for n in layout.layer_numbers
+        )
+        after = sum(
+            compute_metrics(metal_density_map(layout.layer(n), grid)).line
+            for n in layout.layer_numbers
+        )
+        assert after < before
+
+    def test_density_monotone_nondecreasing(self, filled):
+        layout, unfilled, grid, _ = filled
+        for n in layout.layer_numbers:
+            before = wire_density_map(unfilled.layer(n), grid)
+            after = metal_density_map(layout.layer(n), grid)
+            assert np.all(after >= before - 1e-12)
+
+    def test_report_consistent_with_layout(self, filled):
+        layout, _, _, report = filled
+        assert layout.num_fills == report.num_fills
+        assert report.num_candidates >= report.num_fills
+
+
+class TestScoringIntegration:
+    def test_score_card_in_range(self, filled):
+        layout, unfilled, grid, _ = filled
+        from repro.bench.suite import calibrate_weights
+
+        weights = calibrate_weights(unfilled, grid, 60.0, 1024.0)
+        card = score_layout(layout, grid, weights, file_size=0.1, runtime=1.0,
+                            memory=50.0)
+        for name, value in card.as_row().items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_filled_beats_unfilled_on_density(self, filled):
+        layout, unfilled, grid, _ = filled
+        raw_filled = measure_raw_components(layout, grid)
+        raw_unfilled = measure_raw_components(unfilled, grid)
+        assert raw_filled.variation < raw_unfilled.variation
+        assert raw_filled.line < raw_unfilled.line
+
+
+class TestGdsiiIntegration:
+    def test_solution_roundtrip_preserves_fills(self, filled):
+        layout, _, _, _ = filled
+        back = layout_from_gdsii(gdsii_bytes(layout))
+        for n in layout.layer_numbers:
+            assert sorted(back.layer(n).fills) == sorted(layout.layer(n).fills)
+            assert sorted(back.layer(n).wires) == sorted(layout.layer(n).wires)
+
+    def test_roundtrip_scores_identical(self, filled):
+        layout, _, grid, _ = filled
+        weights = ScoreWeights(
+            beta_overlay=1e7,
+            beta_variation=1.0,
+            beta_line=100.0,
+            beta_outlier=1.0,
+            beta_size=10.0,
+            beta_runtime=60.0,
+            beta_memory=1024.0,
+        )
+        back = layout_from_gdsii(gdsii_bytes(layout))
+        a = measure_raw_components(layout, grid)
+        b = measure_raw_components(back, grid)
+        assert a.overlay == b.overlay
+        assert a.variation == pytest.approx(b.variation)
+        assert a.line == pytest.approx(b.line)
+
+
+class TestRobustness:
+    def test_wire_dense_layout(self):
+        # Nearly saturated layout: hardly any room, engine must not
+        # crash and must stay legal.
+        layout = generate_layout(
+            LayoutSpec(
+                name="dense",
+                die_size=1200,
+                seed=13,
+                num_cell_rects=2500,
+                num_bus_bundles=4,
+                num_macros=2,
+                rules=RULES,
+            )
+        )
+        grid = WindowGrid(layout.die, 3, 3)
+        report = DummyFillEngine(FillConfig()).run(layout, grid)
+        assert layout.check_drc() == []
+
+    def test_sparse_layout(self):
+        layout = generate_layout(
+            LayoutSpec(
+                name="sparse",
+                die_size=1200,
+                seed=14,
+                num_cell_rects=3,
+                num_bus_bundles=0,
+                num_macros=0,
+                hotspot_columns=(),
+                cold_windows=0,
+                rules=RULES,
+            )
+        )
+        grid = WindowGrid(layout.die, 3, 3)
+        report = DummyFillEngine(FillConfig()).run(layout, grid)
+        assert layout.check_drc() == []
+        # Sparse wires still induce a positive target.
+        assert report.num_fills > 0
+
+    def test_many_layers(self):
+        layout = generate_layout(
+            LayoutSpec(
+                name="tall",
+                die_size=1200,
+                seed=15,
+                num_layers=5,
+                num_cell_rects=120,
+                num_bus_bundles=1,
+                num_macros=0,
+                rules=RULES,
+            )
+        )
+        grid = WindowGrid(layout.die, 3, 3)
+        report = DummyFillEngine(FillConfig()).run(layout, grid)
+        assert layout.check_drc() == []
+        filled_layers = {
+            n for n in layout.layer_numbers if layout.layer(n).num_fills
+        }
+        assert len(filled_layers) >= 4

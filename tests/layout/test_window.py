@@ -1,0 +1,132 @@
+"""Tests for the fixed-dissection window grid (Figs. 1 / 2(b))."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import WindowGrid
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = WindowGrid(Rect(0, 0, 800, 400), 4, 2)
+        assert g.num_windows == 8
+        assert g.window_width == 200
+        assert g.window_height == 200
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            WindowGrid(Rect(0, 0, 100, 100), 0, 2)
+
+    def test_die_too_small(self):
+        with pytest.raises(ValueError):
+            WindowGrid(Rect(0, 0, 3, 3), 10, 10)
+
+    def test_with_window_size_fig1(self):
+        # Fig. 1: w x w windows over the die.
+        g = WindowGrid.with_window_size(Rect(0, 0, 1000, 1000), 250)
+        assert (g.cols, g.rows) == (4, 4)
+        assert g.window(0, 0) == Rect(0, 0, 250, 250)
+
+    def test_with_window_size_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            WindowGrid.with_window_size(Rect(0, 0, 1000, 1000), 300)
+
+
+class TestWindows:
+    def test_window_rect(self):
+        g = WindowGrid(Rect(0, 0, 800, 400), 4, 2)
+        assert g.window(0, 0) == Rect(0, 0, 200, 200)
+        assert g.window(3, 1) == Rect(600, 200, 800, 400)
+
+    def test_windows_partition_die(self):
+        g = WindowGrid(Rect(0, 0, 800, 400), 4, 2)
+        total = sum(g.window_area(i, j) for i, j, _ in g)
+        assert total == g.die.area
+
+    def test_remainder_absorbed_by_last(self):
+        g = WindowGrid(Rect(0, 0, 103, 55), 4, 2)
+        assert g.window(3, 1).xh == 103
+        assert g.window(3, 1).yh == 55
+        total = sum(w.area for _, _, w in g)
+        assert total == 103 * 55
+
+    def test_out_of_range_raises(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        with pytest.raises(IndexError):
+            g.window(2, 0)
+        with pytest.raises(IndexError):
+            g.window(0, -1)
+
+    def test_iteration_column_major(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        order = [(i, j) for i, j, _ in g]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_offset_die(self):
+        g = WindowGrid(Rect(100, 200, 300, 400), 2, 2)
+        assert g.window(0, 0) == Rect(100, 200, 200, 300)
+
+
+class TestLocate:
+    def test_locate_interior(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.locate(10, 10) == (0, 0)
+        assert g.locate(60, 60) == (1, 1)
+
+    def test_locate_boundary_goes_to_upper_window(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.locate(50, 50) == (1, 1)
+
+    def test_locate_die_edge(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.locate(100, 100) == (1, 1)
+
+    def test_locate_outside_raises(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            g.locate(101, 0)
+
+
+class TestWindowsTouching:
+    def test_single_window(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.windows_touching(Rect(10, 10, 20, 20)) == [(0, 0)]
+
+    def test_spanning_rect(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.windows_touching(Rect(40, 40, 60, 60)) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_edge_touch_not_counted(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        # Sits exactly on the boundary column: zero-area in window 0.
+        assert g.windows_touching(Rect(50, 0, 60, 10)) == [(1, 0)]
+
+    def test_outside_die(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        assert g.windows_touching(Rect(200, 200, 300, 300)) == []
+
+
+class TestTiles:
+    def test_fig1_tiles(self):
+        # Fig. 1: each w x w window splits into r^2 tiles.
+        g = WindowGrid(Rect(0, 0, 400, 400), 2, 2)
+        tiles = g.tiles(0, 0, 4)
+        assert len(tiles) == 16
+        assert sum(t.area for t in tiles) == g.window_area(0, 0)
+
+    def test_tiles_disjoint(self):
+        g = WindowGrid(Rect(0, 0, 400, 400), 2, 2)
+        tiles = g.tiles(1, 1, 2)
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_indivisible_raises(self):
+        g = WindowGrid(Rect(0, 0, 100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            g.tiles(0, 0, 3)

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.gdsii import layout_from_gdsii
+
+
+@pytest.fixture()
+def demo_gds(tmp_path):
+    path = tmp_path / "demo.gds"
+    code = main(
+        ["generate", str(path), "--die", "1600", "--wires", "120", "--seed", "7"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["polish"])
+
+    def test_fill_defaults(self):
+        args = build_parser().parse_args(["fill", "a.gds", "b.gds"])
+        assert args.eta == 0.2
+        assert args.solver == "mcf-ssp"
+        assert args.windows == 8
+
+
+class TestGenerate:
+    def test_creates_gdsii(self, demo_gds):
+        layout = layout_from_gdsii(demo_gds.read_bytes())
+        assert layout.num_wires > 0
+        assert layout.num_fills == 0
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.gds"
+        b = tmp_path / "b.gds"
+        main(["generate", str(a), "--die", "1600", "--seed", "3"])
+        main(["generate", str(b), "--die", "1600", "--seed", "3"])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestInfo:
+    def test_prints_layers(self, demo_gds, capsys):
+        assert main(["info", str(demo_gds), "--windows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "layer 1" in out
+        assert "wire density" in out
+
+
+class TestFill:
+    def test_fill_roundtrip(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        code = main(
+            ["fill", str(demo_gds), str(out_path), "--windows", "4"]
+        )
+        assert code == 0
+        filled = layout_from_gdsii(out_path.read_bytes())
+        assert filled.num_fills > 0
+        assert "fills=" in capsys.readouterr().out
+
+    def test_fill_solver_choice(self, demo_gds, tmp_path):
+        out_path = tmp_path / "filled.gds"
+        code = main(
+            [
+                "fill",
+                str(demo_gds),
+                str(out_path),
+                "--windows",
+                "4",
+                "--solver",
+                "lp",
+            ]
+        )
+        assert code == 0
+
+
+class TestScoreAndDrc:
+    def test_score_self_calibrated(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        main(["fill", str(demo_gds), str(out_path), "--windows", "4"])
+        capsys.readouterr()
+        assert main(["score", str(out_path), "--windows", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "quality" in out
+        assert "score" in out
+
+    def test_score_with_reference(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        main(["fill", str(demo_gds), str(out_path), "--windows", "4"])
+        code = main(
+            [
+                "score",
+                str(out_path),
+                "--reference",
+                str(demo_gds),
+                "--windows",
+                "4",
+            ]
+        )
+        assert code == 0
+
+    def test_drc_clean_exit_zero(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        main(["fill", str(demo_gds), str(out_path), "--windows", "4"])
+        capsys.readouterr()
+        assert main(["drc", str(out_path)]) == 0
+        assert "0 violations" in capsys.readouterr().out

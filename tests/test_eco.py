@@ -1,0 +1,118 @@
+"""Tests for the ECO incremental re-fill flow."""
+
+import random
+
+import pytest
+
+from repro.core import DummyFillEngine, FillConfig
+from repro.eco import affected_windows, apply_eco
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def filled_layout(seed=9):
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, 1200, 1200), num_layers=2, rules=RULES, name="eco")
+    for n in layout.layer_numbers:
+        for _ in range(40):
+            x, y = rng.randrange(0, 1100), rng.randrange(0, 1150)
+            layout.layer(n).add_wire(
+                Rect(x, y, min(1200, x + 90), min(1200, y + 30))
+            )
+    grid = WindowGrid(layout.die, 4, 4)
+    DummyFillEngine(FillConfig()).run(layout, grid)
+    return layout, grid
+
+
+class TestAffectedWindows:
+    def test_single_window_change(self):
+        _, grid = filled_layout()
+        affected = affected_windows(grid, {1: [Rect(50, 50, 120, 80)]}, halo=15)
+        assert affected == {(0, 0)}
+
+    def test_boundary_change_spreads(self):
+        _, grid = filled_layout()
+        # A wire at the window boundary (x=300) affects both sides.
+        affected = affected_windows(grid, {1: [Rect(295, 50, 305, 80)]}, halo=15)
+        assert (0, 0) in affected and (1, 0) in affected
+
+    def test_no_wires_no_windows(self):
+        _, grid = filled_layout()
+        assert affected_windows(grid, {1: []}, halo=15) == set()
+
+
+class TestApplyEco:
+    def test_wire_committed(self):
+        layout, grid = filled_layout()
+        before = layout.layer(1).num_wires
+        apply_eco(layout, grid, {1: [Rect(50, 50, 250, 90)]})
+        assert layout.layer(1).num_wires == before + 1
+
+    def test_result_is_drc_clean(self):
+        layout, grid = filled_layout()
+        apply_eco(layout, grid, {1: [Rect(50, 50, 250, 90)]})
+        assert layout.check_drc() == []
+
+    def test_untouched_windows_stable(self):
+        layout, grid = filled_layout()
+        report = apply_eco(layout, grid, {1: [Rect(50, 50, 250, 90)]})
+        untouched = [
+            grid.window(i, j)
+            for i in range(grid.cols)
+            for j in range(grid.rows)
+            if (i, j) not in report.affected_windows
+        ]
+        reference, ref_grid = filled_layout()
+        for layer in layout.layers:
+            ref_fills = set(reference.layer(layer.number).fills)
+            for win in untouched:
+                for fill in layer.fills:
+                    if win.contains(fill):
+                        assert fill in ref_fills
+
+    def test_rip_up_counts(self):
+        layout, grid = filled_layout()
+        report = apply_eco(layout, grid, {1: [Rect(50, 50, 250, 90)]})
+        assert report.removed_fills > 0
+        assert report.new_fills > 0
+        assert report.affected_windows
+        assert "ECO:" in report.summary()
+
+    def test_affected_windows_refilled_near_target(self):
+        layout, grid = filled_layout()
+        from repro.density import metal_density_map
+
+        before = metal_density_map(layout.layer(1), grid)
+        report = apply_eco(layout, grid, {1: [Rect(50, 50, 250, 90)]})
+        after = metal_density_map(layout.layer(1), grid)
+        for (i, j) in report.affected_windows:
+            # Refilled windows stay within quantisation of their old
+            # density (the new wire itself adds some).
+            assert abs(float(after[i, j]) - float(before[i, j])) < 0.15
+
+    def test_escaping_wire_rejected(self):
+        layout, grid = filled_layout()
+        with pytest.raises(ValueError):
+            apply_eco(layout, grid, {1: [Rect(1100, 1100, 1300, 1300)]})
+
+    def test_multi_layer_change(self):
+        layout, grid = filled_layout()
+        report = apply_eco(
+            layout,
+            grid,
+            {1: [Rect(700, 700, 800, 760)], 2: [Rect(100, 700, 200, 760)]},
+        )
+        assert report.new_wires == 2
+        assert layout.check_drc() == []
+
+    def test_empty_change_noop(self):
+        layout, grid = filled_layout()
+        fills_before = layout.num_fills
+        report = apply_eco(layout, grid, {})
+        assert report.removed_fills == 0
+        assert report.new_fills == 0
+        assert layout.num_fills == fills_before

@@ -1,0 +1,73 @@
+"""Property-based tests on the ECO flow invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DummyFillEngine, FillConfig
+from repro.eco import apply_eco
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def base_filled_layout():
+    rng = random.Random(77)
+    layout = Layout(Rect(0, 0, 1000, 1000), num_layers=2, rules=RULES)
+    for n in layout.layer_numbers:
+        for _ in range(25):
+            x, y = rng.randrange(0, 900), rng.randrange(0, 950)
+            layout.layer(n).add_wire(
+                Rect(x, y, min(1000, x + 80), min(1000, y + 30))
+            )
+    grid = WindowGrid(layout.die, 4, 4)
+    DummyFillEngine(FillConfig()).run(layout, grid)
+    return layout, grid
+
+
+change_rects = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.integers(min_value=0, max_value=800),
+    st.integers(min_value=0, max_value=800),
+    st.integers(min_value=20, max_value=200),
+    st.integers(min_value=20, max_value=150),
+)
+
+
+class TestEcoProperties:
+    @given(
+        st.lists(change_rects, min_size=1, max_size=3),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_drc_clean(self, changes, layer):
+        layout, grid = base_filled_layout()
+        report = apply_eco(layout, grid, {layer: changes})
+        assert layout.check_drc() == []
+        assert report.new_wires == len(changes)
+
+    @given(change_rects, st.sampled_from([1, 2]))
+    @settings(max_examples=15, deadline=None)
+    def test_untouched_fills_identical(self, change, layer):
+        layout, grid = base_filled_layout()
+        reference, _ = base_filled_layout()
+        report = apply_eco(layout, grid, {layer: [change]})
+        affected = {grid.window(i, j) for i, j in report.affected_windows}
+        for n in layout.layer_numbers:
+            ref_fills = set(reference.layer(n).fills)
+            for fill in layout.layer(n).fills:
+                if not any(fill.touches(w) for w in affected):
+                    assert fill in ref_fills
+
+    @given(change_rects)
+    @settings(max_examples=10, deadline=None)
+    def test_affected_set_covers_change(self, change):
+        layout, grid = base_filled_layout()
+        report = apply_eco(layout, grid, {1: [change]})
+        covered = {key for key in report.affected_windows}
+        assert set(grid.windows_touching(change)) <= covered

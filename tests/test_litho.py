@@ -1,0 +1,151 @@
+"""Tests for the lithography-friendliness extension (paper future work)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout
+from repro.litho import LithoRules, check_litho, repair_litho
+
+DRC = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def layout_with_fills(fills, num_layers=1):
+    layout = Layout(Rect(0, 0, 1000, 1000), num_layers=num_layers, rules=DRC)
+    for rect in fills:
+        layout.layer(1).add_fill(rect)
+    return layout
+
+
+class TestRules:
+    def test_malformed_range_rejected(self):
+        with pytest.raises(ValueError):
+            LithoRules(forbidden_pitches=((50, 40),))
+
+    def test_gap_is_forbidden(self):
+        rules = LithoRules(forbidden_pitches=((45, 55), (80, 90)))
+        assert rules.gap_is_forbidden(45)
+        assert rules.gap_is_forbidden(55)
+        assert rules.gap_is_forbidden(85)
+        assert not rules.gap_is_forbidden(44)
+        assert not rules.gap_is_forbidden(70)
+
+    def test_next_legal_gap(self):
+        rules = LithoRules(forbidden_pitches=((45, 55),))
+        assert rules.next_legal_gap(40) == 40
+        assert rules.next_legal_gap(45) == 56
+        assert rules.next_legal_gap(55) == 56
+
+    def test_next_legal_gap_chained_ranges(self):
+        rules = LithoRules(forbidden_pitches=((45, 55), (56, 60)))
+        assert rules.next_legal_gap(50) == 61
+
+
+class TestCheck:
+    def test_clean_layout(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 50, 50), Rect(120, 0, 170, 50)]  # gap 70, legal
+        )
+        assert check_litho(layout, LithoRules()) == []
+
+    def test_forbidden_horizontal_pitch(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 50, 50), Rect(100, 0, 150, 50)]  # gap 50, forbidden
+        )
+        violations = check_litho(layout, LithoRules())
+        assert len(violations) == 1
+        assert violations[0].kind == "forbidden_pitch"
+        assert violations[0].measured == 50
+
+    def test_forbidden_vertical_pitch(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 50, 50), Rect(0, 100, 50, 150)]
+        )
+        violations = check_litho(layout, LithoRules())
+        assert len(violations) == 1
+
+    def test_diagonal_pairs_not_lateral(self):
+        # Diagonal neighbours have no facing parallel edges: no pitch
+        # effect, no violation.
+        layout = layout_with_fills(
+            [Rect(0, 0, 50, 50), Rect(100, 100, 150, 150)]
+        )
+        assert check_litho(layout, LithoRules()) == []
+
+    def test_min_edge(self):
+        layout = layout_with_fills([Rect(0, 0, 12, 40)])
+        violations = check_litho(layout, LithoRules(min_edge=15))
+        assert violations[0].kind == "min_edge"
+        assert violations[0].measured == 12
+
+    def test_wires_ignored(self):
+        layout = layout_with_fills([])
+        layout.layer(1).add_wire(Rect(0, 0, 50, 50))
+        layout.layer(1).add_wire(Rect(100, 0, 150, 50))  # wire pair at 50
+        assert check_litho(layout, LithoRules()) == []
+
+
+class TestRepair:
+    def test_repair_by_shrinking(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 80, 50), Rect(130, 0, 170, 50)]  # gap 50
+        )
+        touched = repair_litho(layout, LithoRules())
+        assert touched == 1
+        assert check_litho(layout, LithoRules()) == []
+        # The smaller fill (the right one) was pulled back.
+        fills = sorted(layout.layer(1).fills)
+        assert fills[0] == Rect(0, 0, 80, 50)  # big one untouched
+        assert fills[1].xl == 136  # gap now 56 (next legal)
+
+    def test_repair_drops_unshrinkable(self):
+        tight = LithoRules(forbidden_pitches=((10, 200),))
+        layout = layout_with_fills(
+            [Rect(0, 0, 100, 20), Rect(0, 30, 100, 50)]  # gap 10; fills
+            # cannot shrink 190 more
+        )
+        repair_litho(layout, tight)
+        assert check_litho(layout, tight) == []
+        assert len(layout.layer(1).fills) == 1
+
+    def test_repair_min_edge_drops(self):
+        layout = layout_with_fills([Rect(0, 0, 12, 40), Rect(200, 200, 260, 260)])
+        repair_litho(layout, LithoRules(min_edge=15))
+        assert layout.layer(1).fills == [Rect(200, 200, 260, 260)]
+
+    def test_repair_preserves_drc(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 80, 50), Rect(130, 0, 180, 50), Rect(0, 100, 80, 150)]
+        )
+        repair_litho(layout, LithoRules())
+        assert layout.check_drc() == []
+
+    def test_repair_clean_layout_noop(self):
+        layout = layout_with_fills(
+            [Rect(0, 0, 50, 50), Rect(120, 0, 170, 50)]
+        )
+        assert repair_litho(layout, LithoRules()) == 0
+        assert len(layout.layer(1).fills) == 2
+
+    def test_repair_after_engine(self):
+        # Integration: run the engine, then enforce litho rules on top.
+        import random
+
+        from repro.core import FillConfig, insert_fills
+        from repro.layout import WindowGrid
+
+        rng = random.Random(21)
+        layout = Layout(Rect(0, 0, 1200, 1200), num_layers=2, rules=DRC)
+        for n in layout.layer_numbers:
+            for _ in range(40):
+                x, y = rng.randrange(0, 1100), rng.randrange(0, 1150)
+                layout.layer(n).add_wire(
+                    Rect(x, y, min(1200, x + 90), min(1200, y + 30))
+                )
+        grid = WindowGrid(layout.die, 3, 3)
+        insert_fills(layout, grid, FillConfig(eta=0.2))
+        rules = LithoRules(forbidden_pitches=((9, 12),))
+        repair_litho(layout, rules)
+        assert check_litho(layout, rules) == []
+        assert layout.check_drc() == []

@@ -1,0 +1,82 @@
+"""Tests for the markdown run-report renderer."""
+
+import random
+
+import pytest
+
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import ScoreWeights
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+from repro.report import render_report
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+@pytest.fixture(scope="module")
+def filled_run():
+    rng = random.Random(5)
+    layout = Layout(Rect(0, 0, 1000, 1000), num_layers=2, rules=RULES, name="rpt")
+    for n in layout.layer_numbers:
+        for _ in range(30):
+            x, y = rng.randrange(0, 900), rng.randrange(0, 950)
+            layout.layer(n).add_wire(
+                Rect(x, y, min(1000, x + 80), min(1000, y + 30))
+            )
+    grid = WindowGrid(layout.die, 2, 2)
+    report = DummyFillEngine(FillConfig()).run(layout, grid)
+    return layout, grid, report
+
+
+class TestRenderReport:
+    def test_contains_sections(self, filled_run):
+        layout, grid, report = filled_run
+        text = render_report(layout, grid, report)
+        for heading in (
+            "# Dummy fill run report",
+            "## Result",
+            "## Target densities",
+            "## Density metrics (after fill)",
+            "## Stage timings",
+        ):
+            assert heading in text
+
+    def test_fill_count_reported(self, filled_run):
+        layout, grid, report = filled_run
+        text = render_report(layout, grid, report)
+        assert f"**{report.num_fills}**" in text
+
+    def test_drc_clean_status(self, filled_run):
+        layout, grid, report = filled_run
+        assert "DRC: clean" in render_report(layout, grid, report)
+
+    def test_per_layer_rows(self, filled_run):
+        layout, grid, report = filled_run
+        text = render_report(layout, grid, report)
+        # One metrics row per layer.
+        rows = [l for l in text.splitlines() if l.startswith("| 1 |") or l.startswith("| 2 |")]
+        assert len(rows) >= 2
+
+    def test_score_card_optional(self, filled_run):
+        layout, grid, report = filled_run
+        without = render_report(layout, grid, report)
+        assert "Contest score card" not in without
+        weights = ScoreWeights(
+            beta_overlay=1e7,
+            beta_variation=1.0,
+            beta_line=100.0,
+            beta_outlier=1.0,
+            beta_size=10.0,
+            beta_runtime=60.0,
+            beta_memory=1024.0,
+        )
+        with_card = render_report(layout, grid, report, weights=weights)
+        assert "Contest score card" in with_card
+        assert "| quality |" in with_card
+
+    def test_custom_title(self, filled_run):
+        layout, grid, report = filled_run
+        text = render_report(layout, grid, report, title="My run")
+        assert text.startswith("# My run")

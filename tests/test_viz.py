@@ -1,0 +1,105 @@
+"""Tests for the SVG/ASCII visualisation helpers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import Layout, WindowGrid
+from repro.viz import density_to_ascii, density_to_svg, layout_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def sample_layout():
+    layout = Layout(Rect(0, 0, 1000, 1000), num_layers=2)
+    layout.layer(1).add_wire(Rect(0, 0, 100, 40))
+    layout.layer(1).add_wire(Rect(0, 100, 100, 140))
+    layout.layer(2).add_wire(Rect(200, 0, 240, 300))
+    layout.layer(1).add_fill(Rect(500, 500, 560, 560))
+    return layout
+
+
+class TestLayoutSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(layout_to_svg(sample_layout()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_rect_count(self):
+        root = ET.fromstring(layout_to_svg(sample_layout()))
+        rects = root.findall(f".//{SVG_NS}rect")
+        # 1 background + 3 wires + 1 fill.
+        assert len(rects) == 5
+
+    def test_layer_filter(self):
+        svg = layout_to_svg(sample_layout(), layers=[2])
+        root = ET.fromstring(svg)
+        groups = [g.get("id") for g in root.findall(f".//{SVG_NS}g")]
+        assert "layer2-wires" in groups
+        assert "layer1-wires" not in groups
+
+    def test_hide_fills(self):
+        svg = layout_to_svg(sample_layout(), show_fills=False)
+        assert "stroke-dasharray" not in svg
+
+    def test_grid_overlay(self):
+        layout = sample_layout()
+        grid = WindowGrid(layout.die, 4, 4)
+        root = ET.fromstring(layout_to_svg(layout, grid=grid))
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(lines) == 3 + 3  # interior grid lines only
+
+    def test_title_escaped(self):
+        svg = layout_to_svg(sample_layout(), title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in svg
+
+    def test_y_axis_flipped(self):
+        # A shape at the layout's bottom must render near the SVG's
+        # bottom (large y).
+        layout = Layout(Rect(0, 0, 1000, 1000), num_layers=1)
+        layout.layer(1).add_wire(Rect(0, 0, 100, 100))
+        root = ET.fromstring(layout_to_svg(layout, width=1000))
+        wire = root.findall(f".//{SVG_NS}g/{SVG_NS}rect")[0]
+        assert float(wire.get("y")) == 900.0
+
+
+class TestDensitySvg:
+    def test_valid_xml_and_cells(self):
+        d = np.array([[0.1, 0.9], [0.5, 0.3]])
+        root = ET.fromstring(density_to_svg(d))
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == 4
+
+    def test_annotations(self):
+        d = np.array([[0.25]])
+        svg = density_to_svg(d)
+        assert "0.25" in svg
+
+    def test_no_annotations(self):
+        d = np.array([[0.25]])
+        assert "0.25" not in density_to_svg(d, annotate=False)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            density_to_svg(np.zeros(3))
+
+
+class TestDensityAscii:
+    def test_shape(self):
+        d = np.zeros((4, 3))
+        art = density_to_ascii(d)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 * 2 + 2 for line in lines)
+
+    def test_shading_monotone(self):
+        d = np.array([[0.0, 1.0]])
+        art = density_to_ascii(d)
+        bottom, top = art.splitlines()[1], art.splitlines()[0]
+        assert bottom.strip("|") == "  "
+        assert top.strip("|") == "@@"
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            density_to_ascii(np.zeros((0, 3)))
