@@ -20,6 +20,12 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from .contracts import (
+    ContractViolation,
+    check_density,
+    check_drc_params,
+    check_rect,
+)
 from .core import (
     DensityPlan,
     DummyFillEngine,
@@ -44,6 +50,10 @@ from .layout import DrcRules, Layout, WindowGrid
 __version__ = "1.0.0"
 
 __all__ = [
+    "ContractViolation",
+    "check_density",
+    "check_drc_params",
+    "check_rect",
     "DensityPlan",
     "DummyFillEngine",
     "FillConfig",

@@ -38,7 +38,13 @@ from ..gdsii import file_size_mb, measure_file_size, predict_fill_bytes
 from ..layout import DrcRules, Layout, WindowGrid
 from .generator import LayoutSpec, generate_layout
 
-__all__ = ["Benchmark", "SUITE_SPECS", "load_benchmark", "benchmark_names"]
+__all__ = [
+    "Benchmark",
+    "SUITE_SPECS",
+    "load_benchmark",
+    "benchmark_names",
+    "calibrate_weights",
+]
 
 _RULES = DrcRules(
     min_spacing=10,

@@ -1,0 +1,120 @@
+"""Findings and reporting for the ``repro.check`` static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  The
+renderers turn a list of findings into the two supported output
+formats: a compact ``path:line:col`` text listing (for humans and
+editors) and a stable JSON document (for CI and tooling).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "sort_findings",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+class Severity(Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` marks a construct that is wrong in this codebase (a float
+    reaching a dbu coordinate, a mutable default); ``WARNING`` marks a
+    construct that is suspicious and needs either a fix or an explicit
+    ``# repro: noqa[RULE]`` acknowledgement.  Both fail the CI gate —
+    the tree is kept clean of both.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity = Severity.ERROR
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.location()}: {self.code} {self.severity}: {self.message}"
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Stable order: by path, then line/col, then rule code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable listing, one finding per line, plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [str(f) for f in ordered]
+    errors = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    warnings = len(ordered) - errors
+    if ordered:
+        lines.append(f"found {len(ordered)} finding(s): {errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """Stable JSON document for CI consumption.
+
+    Layout::
+
+        {
+          "version": 1,
+          "checked_files": 12,
+          "counts": {"total": 2, "error": 1, "warning": 1,
+                     "by_code": {"REP003": 2}},
+          "findings": [{"code": ..., "message": ..., "path": ...,
+                        "line": ..., "col": ..., "severity": ...}, ...]
+        }
+    """
+    ordered = sort_findings(findings)
+    by_code: Dict[str, int] = {}
+    for f in ordered:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "checked_files": checked_files,
+        "counts": {
+            "total": len(ordered),
+            "error": sum(1 for f in ordered if f.severity is Severity.ERROR),
+            "warning": sum(1 for f in ordered if f.severity is Severity.WARNING),
+            "by_code": dict(sorted(by_code.items())),
+        },
+        "findings": [f.to_dict() for f in ordered],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

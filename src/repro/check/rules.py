@@ -1,0 +1,562 @@
+"""The REP rule pack: codebase-aware lint rules for the fill engine.
+
+Each rule encodes one invariant the paper's algorithms silently rely
+on (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
+
+* **REP001** — integer-dbu discipline: no float literal or true
+  division may reach a geometry coordinate argument in ``geometry/``
+  or ``layout/``.
+* **REP002** — DRC numerals (``sm``/``wm``/``am`` and the fill-size
+  caps) must flow from the config/deck modules, never be hard-coded at
+  call sites.
+* **REP003** — no mutable default arguments.
+* **REP004** — no bare ``except:``; no silently swallowed exceptions
+  in ``core/`` and ``netflow/``.
+* **REP005** — no exact ``==``/``!=`` against float expressions where
+  a tolerance is required (density and scoring paths).
+* **REP006** — ``__all__`` export consistency: public definitions are
+  exported and every exported name exists.
+
+Rules are registered in :data:`RULE_REGISTRY` via the
+:func:`register` decorator; adding a rule is writing a subclass of
+:class:`Rule` and decorating it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register",
+    "RULE_REGISTRY",
+    "all_rule_codes",
+    "select_rules",
+    "IntegerCoordinateRule",
+    "DrcLiteralRule",
+    "MutableDefaultRule",
+    "ExceptionHygieneRule",
+    "FloatEqualityRule",
+    "ExportConsistencyRule",
+]
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+
+    @property
+    def module_basename(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    def in_scope(self, fragments: Sequence[str]) -> bool:
+        """True when the module path matches any scope fragment."""
+        return any(frag in self.path for frag in fragments)
+
+
+class Rule:
+    """Base class for a static-analysis rule.
+
+    Subclasses set :attr:`code`, :attr:`summary` and
+    :attr:`default_severity`, optionally restrict themselves with
+    :attr:`scopes` (path fragments; empty means every file), and
+    implement :meth:`check` yielding :class:`Finding` objects.
+    """
+
+    code: str = "REP000"
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+    #: path fragments the rule applies to; empty tuple = all files
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not self.scopes or ctx.in_scope(self.scopes)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=severity if severity is not None else self.default_severity,
+        )
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rule_codes() -> List[str]:
+    return sorted(RULE_REGISTRY)
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the requested rules (all by default)."""
+    codes = list(select) if select else all_rule_codes()
+    unknown = [c for c in codes if c not in RULE_REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    ignored = set(ignore or ())
+    return [RULE_REGISTRY[c]() for c in codes if c not in ignored]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+#: calls that consume dbu coordinates positionally
+_COORD_CONSTRUCTORS = {"Rect"}
+#: methods whose arguments are dbu distances/coordinates
+_COORD_METHODS = {"translated", "expanded", "shrunk", "contains_point"}
+#: wrappers that re-quantise to the integer grid, ending the taint
+_INT_CASTS = {"int", "round", "floor", "ceil"}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The bare callee name: ``Rect(...)`` -> ``Rect``, ``a.b(...)`` -> ``b``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_int_cast(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node) in _INT_CASTS
+    )
+
+
+def _float_taints(expr: ast.AST) -> Iterator[ast.AST]:
+    """Float literals and true divisions inside ``expr``.
+
+    The walk stops at integer re-quantisation points (``int()``,
+    ``round()``, ``math.floor``/``ceil``) because their results are
+    back on the grid, and does not descend into nested ``Rect`` calls
+    (those are checked on their own).
+    """
+    if _is_int_cast(expr):
+        return
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+        yield expr
+        return
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Div):
+        yield expr
+        # still descend: `a / b / c` should report each division once
+    for child in ast.iter_child_nodes(expr):
+        yield from _float_taints(child)
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
+
+
+# ----------------------------------------------------------------------
+# REP001 — integer-dbu discipline for geometry coordinates
+# ----------------------------------------------------------------------
+
+
+@register
+class IntegerCoordinateRule(Rule):
+    """Float literals / true division reaching geometry coordinates.
+
+    All layout geometry lives on the integer dbu grid (paper Eqn. (9)
+    requires integral fill coordinates).  A float sneaking into a
+    ``Rect`` or a coordinate-taking method silently breaks hashing,
+    exact area bookkeeping and the sizing ILP's integrality.
+    """
+
+    code = "REP001"
+    summary = "float literal or true division reaches a dbu coordinate argument"
+    default_severity = Severity.ERROR
+    scopes = ("geometry/", "layout/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            is_ctor = isinstance(node.func, ast.Name) and name in _COORD_CONSTRUCTORS
+            is_method = isinstance(node.func, ast.Attribute) and name in _COORD_METHODS
+            if not (is_ctor or is_method):
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                for taint in _float_taints(arg):
+                    kind = (
+                        "float literal"
+                        if isinstance(taint, ast.Constant)
+                        else "true division (use // or wrap in int()/round())"
+                    )
+                    yield self.finding(
+                        ctx,
+                        taint,
+                        f"{kind} in dbu coordinate argument of {name}()",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP002 — DRC numerals must come from the config/deck modules
+# ----------------------------------------------------------------------
+
+_DRC_KEYWORDS = {
+    "min_spacing",
+    "min_width",
+    "min_area",
+    "max_fill_width",
+    "max_fill_height",
+    "wm",
+    "am",
+    "sm",
+}
+
+
+@register
+class DrcLiteralRule(Rule):
+    """Hard-coded DRC numerals outside the deck/config modules.
+
+    The sizing constraints (Eqn. (9e)-(9g)) are parameterised by the
+    rule deck ``sm``/``wm``/``am``; a literal at a call site bypasses
+    :class:`repro.layout.drc.DrcRules` validation and desynchronises
+    the flow from the deck.  Allowed homes: ``layout/drc.py`` (deck
+    defaults), ``core/config.py`` and ``bench/`` (benchmark decks are
+    input data).
+    """
+
+    code = "REP002"
+    summary = "hard-coded DRC numeral outside the config/deck modules"
+    default_severity = Severity.WARNING
+    allowed = ("layout/drc.py", "core/config.py", "bench/")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.in_scope(self.allowed)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "DrcRules":
+                for arg in node.args:
+                    if _is_numeric_literal(arg):
+                        yield self.finding(
+                            ctx, arg, "numeric literal in DrcRules(...) construction"
+                        )
+            for kw in node.keywords:
+                if kw.arg in _DRC_KEYWORDS and _is_numeric_literal(kw.value):
+                    yield self.finding(
+                        ctx,
+                        kw.value,
+                        f"numeric literal for DRC parameter {kw.arg!r}; "
+                        "take it from the rule deck (DrcRules) instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP003 — mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default argument values.
+
+    A shared-between-calls list/dict/set default is a classic source of
+    state leaking across engine runs.
+    """
+
+    code = "REP003"
+    summary = "mutable default argument"
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "use None (or an immutable tuple) and create inside",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _call_name(node) in _MUTABLE_CALLS
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP004 — bare / swallowed exceptions
+# ----------------------------------------------------------------------
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Bare ``except:`` anywhere; ``except X: pass`` in solver paths.
+
+    The flow's solvers (``core/``, ``netflow/``) must fail loudly: a
+    swallowed infeasibility or numerical error shows up later as a
+    silently wrong density score, the exact failure mode static
+    analysis exists to prevent.
+    """
+
+    code = "REP004"
+    summary = "bare except or silently swallowed exception"
+    default_severity = Severity.ERROR
+    #: where even `except X: pass` is banned
+    strict_scopes = ("core/", "netflow/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        strict = ctx.in_scope(self.strict_scopes)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                )
+            elif strict and self._swallows(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception silently swallowed in a solver path; "
+                    "handle, log or re-raise",
+                    severity=Severity.WARNING,
+                )
+
+    @staticmethod
+    def _swallows(node: ast.ExceptHandler) -> bool:
+        if len(node.body) != 1:
+            return False
+        stmt = node.body[0]
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+
+
+# ----------------------------------------------------------------------
+# REP005 — exact float equality in density/scoring paths
+# ----------------------------------------------------------------------
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Exact ``==``/``!=`` against float-valued expressions.
+
+    Densities are ratios of integer areas and live in ``[0, 1]``;
+    comparing them (or any derived score) with ``==`` is
+    representation-dependent.  Use ``math.isclose``/``np.isclose`` or
+    an explicit tolerance; where exact equality is genuinely intended
+    (e.g. decoding an all-zero IEEE bit pattern) acknowledge it with
+    ``# repro: noqa[REP005]``.
+    """
+
+    code = "REP005"
+    summary = "exact float equality comparison"
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(self._is_floaty(o) for o in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exact ==/!= on a float expression; compare with a "
+                    "tolerance (math.isclose / np.isclose)",
+                )
+
+    @staticmethod
+    def _is_floaty(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call) and _call_name(node) == "float":
+            return True
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                if not _is_int_cast(sub):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP006 — __all__ export consistency
+# ----------------------------------------------------------------------
+
+
+@register
+class ExportConsistencyRule(Rule):
+    """``__all__`` present, complete, and resolvable.
+
+    Every module exports its public surface explicitly: public
+    top-level functions/classes must appear in ``__all__`` and every
+    exported name must be defined (or imported) at the top level.
+    """
+
+    code = "REP006"
+    summary = "__all__ missing, incomplete, or naming undefined symbols"
+    default_severity = Severity.WARNING
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.module_basename != "__main__.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        exported, all_node = self._exported_names(ctx.tree)
+        defined = self._top_level_names(ctx.tree)
+        public_defs = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        }
+        if exported is None:
+            if public_defs:
+                first = next(iter(public_defs.values()))
+                yield self.finding(
+                    ctx,
+                    first,
+                    "module defines public names but no __all__; "
+                    "declare the export surface explicitly",
+                )
+            return
+        assert all_node is not None
+        for name in exported:
+            if name not in defined:
+                yield self.finding(
+                    ctx,
+                    all_node,
+                    f"__all__ exports {name!r} which is not defined at "
+                    "module top level",
+                )
+        for name, node in public_defs.items():
+            if name not in exported:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public definition {name!r} missing from __all__ "
+                    "(export it or rename with a leading underscore)",
+                )
+
+    @staticmethod
+    def _exported_names(
+        tree: ast.Module,
+    ) -> Tuple[Optional[Set[str]], Optional[ast.AST]]:
+        """The static ``__all__`` contents, or ``(None, None)`` when absent.
+
+        Only plain ``__all__ = [...]`` / ``(...)`` of string constants
+        is recognised; a dynamic ``__all__`` cannot be checked and is
+        treated as absent.
+        """
+        for node in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts
+                    ):
+                        return (
+                            {e.value for e in value.elts},  # type: ignore[union-attr]
+                            node,
+                        )
+                    return None, None
+        return None, None
+
+    @staticmethod
+    def _top_level_names(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(_assigned_names(target))
+            elif isinstance(node, ast.AnnAssign):
+                names.update(_assigned_names(node.target))
+            elif isinstance(node, (ast.If, ast.Try)):
+                # TYPE_CHECKING / fallback-import blocks: one level deep
+                for sub in ast.walk(node):
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        names.add(sub.name)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            names.add((alias.asname or alias.name).split(".")[0])
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            names.update(_assigned_names(target))
+        return names
+
+
+def _assigned_names(target: ast.expr) -> Set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for elt in target.elts:
+            out.update(_assigned_names(elt))
+        return out
+    return set()

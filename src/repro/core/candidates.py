@@ -40,6 +40,7 @@ __all__ = [
     "quality_score",
     "CandidatePlan",
     "generate_candidates",
+    "candidate_area_maps",
 ]
 
 WindowKey = Tuple[int, int]

@@ -24,6 +24,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import check_drc_params, check_rect
 from ..density.analysis import LayerDensity, analyze_layout
 from ..density.scoring import ScoreWeights
 from ..layout import Layout, WindowGrid
@@ -102,6 +103,7 @@ class DummyFillEngine:
         """
         config = self.config
         timer = _StageTimer()
+        check_drc_params(layout.rules, name="layout.rules")
 
         with timer.stage("analysis"):
             margin = config.effective_margin(layout.rules.min_spacing)
@@ -144,7 +146,10 @@ class DummyFillEngine:
             num_fills = 0
             for per_layer in sized.values():
                 for layer_number, rects in per_layer.items():
-                    layout.layer(layer_number).add_fills(rects)
+                    layout.layer(layer_number).add_fills(
+                        check_rect(r, name=f"fill on layer {layer_number}")
+                        for r in rects
+                    )
                     num_fills += len(rects)
 
         return FillReport(

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..contracts import check_drc_params
 from ..geometry import GridIndex, Rect
 from ..layout import DrcRules, Layout, WindowGrid
 from ..netflow import DifferentialLP, LPInfeasibleError, solve_dual_mcf, solve_linprog
@@ -450,7 +451,7 @@ def size_fills(
     """
     if config is None:
         config = FillConfig()
-    rules = layout.rules
+    rules = check_drc_params(layout.rules, name="layout.rules")
     margin = rules.min_spacing + config.effective_step(
         rules.max_fill_width, rules.max_fill_height
     )

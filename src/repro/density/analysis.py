@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..contracts import check_density
 from ..geometry import GridIndex, Rect, RectSet, rect_set_subtract
 from ..layout import DrcRules, Layer, Layout, WindowGrid
 
@@ -181,6 +182,8 @@ def analyze_layer(
         upper[i, j] = min(
             1.0, lower[i, j] + usable_fill_area(region, rules) / win_area
         )
+    check_density(lower, name=f"layer {layer.number} lower density l(i,j)")
+    check_density(upper, name=f"layer {layer.number} upper density u(i,j)")
     return LayerDensity(layer.number, lower, upper, regions)
 
 

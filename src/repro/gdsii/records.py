@@ -110,7 +110,7 @@ def encode_real8(value: float) -> bytes:
     mantissa bits with the value ``(-1)^s * mantissa * 16^(exp-64)``
     where ``mantissa`` is a binary fraction in [1/16, 1).
     """
-    if value == 0.0:
+    if value == 0.0:  # repro: noqa[REP005] — exact zero maps to the all-zero GDSII real
         return b"\x00" * 8
     sign = 0
     if value < 0:

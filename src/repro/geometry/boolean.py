@@ -20,7 +20,7 @@ DESIGN.md §3), and exact over the integer grid.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from .interval import Interval, intersect as iv_intersect
 from .interval import measure as iv_measure
@@ -242,7 +242,7 @@ class RectSet:
     def __len__(self) -> int:
         return len(self._rects)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Rect]:
         return iter(self._rects)
 
     def __repr__(self) -> str:

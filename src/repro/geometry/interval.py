@@ -16,7 +16,7 @@ covered region for density purposes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "IntervalSet",
@@ -180,7 +180,7 @@ class IntervalSet:
     def __len__(self) -> int:
         return len(self._intervals)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Interval]:
         return iter(self._intervals)
 
     def __repr__(self) -> str:

@@ -16,7 +16,7 @@ paper's "fix spacing rule violations" step (§3.3.1) guarantees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..geometry import GridIndex, Rect
 
@@ -82,7 +82,7 @@ class DrcViolation:
 
     rule: str  # "min_width" | "min_area" | "min_spacing" | "max_size"
     shape: Rect
-    other: Rect = None  # type: ignore[assignment]  # spacing violations only
+    other: Optional[Rect] = None  # spacing violations only
     measured: float = 0.0
     required: float = 0.0
 

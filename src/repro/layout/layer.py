@@ -9,7 +9,7 @@ kept separate so overlay and density can be attributed correctly
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from ..geometry import Rect, RectSet, RectilinearPolygon, polygon_to_rects
 
@@ -91,7 +91,7 @@ class Layer:
         """Remove all fills (re-running the engine on a fresh slate)."""
         self._fills.clear()
 
-    def filter_wires(self, predicate) -> int:
+    def filter_wires(self, predicate: Callable[[Rect], bool]) -> int:
         """Keep only wires where ``predicate(rect)`` is true.
 
         Returns the number of wires removed.  Used by the benchmark

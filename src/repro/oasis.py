@@ -42,6 +42,9 @@ __all__ = [
     "read_oasis",
     "layout_from_oasis",
     "OasisCell",
+    "write_uint",
+    "write_sint",
+    "write_string",
 ]
 
 MAGIC = b"%SEMI-OASIS\r\n"

@@ -1,0 +1,135 @@
+"""CLI behaviour of ``python -m repro.check``: exit codes, JSON output,
+and the smoke guarantee that the shipped tree is clean."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.cli import main
+from repro.check.findings import JSON_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+VIOLATION_SNIPPET = textwrap.dedent(
+    """\
+    __all__ = ["make_fill"]
+
+    def make_fill(w, h):
+        try:
+            return Rect(0, 0, w / 2, 1.5)
+        except:
+            pass
+
+    def helper(cache={}):
+        return cache
+    """
+)
+
+
+@pytest.fixture
+def violation_file(tmp_path):
+    # path fragment geometry/ puts the fixture in REP001 scope
+    pkg = tmp_path / "geometry"
+    pkg.mkdir()
+    target = pkg / "bad_fill.py"
+    target.write_text(VIOLATION_SNIPPET)
+    return target
+
+
+def run_cli(args):
+    """Run the CLI in-process, capturing (exit_code, stdout)."""
+    import contextlib
+    import io
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = main(args)
+    return code, buf.getvalue()
+
+
+def test_seeded_violation_file_exits_nonzero(violation_file):
+    code, out = run_cli([str(violation_file)])
+    assert code == 1
+    # the snippet trips the dbu, exception-hygiene, mutable-default
+    # and export-consistency rules
+    for expected in ("REP001", "REP003", "REP004", "REP006"):
+        assert expected in out
+
+
+def test_json_output_schema(violation_file):
+    code, out = run_cli([str(violation_file), "--format", "json"])
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["version"] == JSON_SCHEMA_VERSION
+    assert doc["checked_files"] == 1
+    assert doc["counts"]["total"] == len(doc["findings"]) > 0
+    assert doc["counts"]["error"] + doc["counts"]["warning"] == doc["counts"]["total"]
+    by_code = doc["counts"]["by_code"]
+    assert sum(by_code.values()) == doc["counts"]["total"]
+    f = doc["findings"][0]
+    assert set(f) == {"code", "message", "path", "line", "col", "severity"}
+    # stable ordering: findings sorted by (path, line, col, code)
+    keys = [(f["path"], f["line"], f["col"], f["code"]) for f in doc["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_select_restricts_rules(violation_file):
+    code, out = run_cli([str(violation_file), "--select", "REP003"])
+    assert code == 1
+    assert "REP003" in out and "REP001" not in out
+
+
+def test_ignore_skips_rules(violation_file):
+    code, out = run_cli(
+        [str(violation_file), "--ignore", "REP001,REP003,REP004,REP006"]
+    )
+    assert code == 0
+
+
+def test_unknown_rule_is_usage_error(violation_file):
+    code, _ = run_cli([str(violation_file), "--select", "REP999"])
+    assert code == 2
+
+
+def test_empty_path_is_usage_error(tmp_path):
+    code, _ = run_cli([str(tmp_path)])
+    assert code == 2
+
+
+def test_list_rules():
+    code, out = run_cli(["--list-rules"])
+    assert code == 0
+    for rule in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        assert rule in out
+
+
+def test_clean_file_exits_zero(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text('__all__ = ["f"]\n\n\ndef f(x):\n    return x + 1\n')
+    code, out = run_cli([str(clean)])
+    assert code == 0
+    assert "clean" in out
+
+
+def test_shipped_tree_is_clean_smoke():
+    """The CI gate in miniature: ``python -m repro.check src/`` exits 0."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.check", str(SRC), "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["counts"]["total"] == 0
+    assert doc["checked_files"] > 50

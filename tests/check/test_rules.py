@@ -1,0 +1,279 @@
+"""Per-rule fixtures for the repro.check rule pack.
+
+Each rule gets a positive case (the violation fires), a negative case
+(clean code stays clean) and, where the rule is suppressible in the
+real tree, a ``# repro: noqa`` case.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.check import Severity, analyze_source, select_rules
+
+
+def run(code, source, path="src/repro/module.py"):
+    """Analyze ``source`` with a single rule; return its findings."""
+    result = analyze_source(
+        textwrap.dedent(source), path=path, rules=select_rules([code])
+    )
+    return result.findings
+
+
+# ----------------------------------------------------------------------
+# REP001 — integer-dbu discipline
+# ----------------------------------------------------------------------
+
+
+class TestRep001:
+    PATH = "src/repro/geometry/somefile.py"
+
+    def test_float_literal_in_rect(self):
+        findings = run("REP001", "r = Rect(0, 0, 10.5, 20)\n", self.PATH)
+        assert [f.code for f in findings] == ["REP001"]
+        assert findings[0].severity is Severity.ERROR
+        assert "float literal" in findings[0].message
+
+    def test_true_division_in_rect(self):
+        findings = run("REP001", "r = Rect(0, 0, w / 2, h)\n", self.PATH)
+        assert len(findings) == 1
+        assert "true division" in findings[0].message
+
+    def test_division_in_coordinate_method(self):
+        findings = run("REP001", "r2 = r.expanded(margin / 2)\n", self.PATH)
+        assert len(findings) == 1
+
+    def test_floor_division_is_clean(self):
+        assert run("REP001", "r = Rect(0, 0, w // 2, h)\n", self.PATH) == []
+
+    def test_int_wrapped_division_is_clean(self):
+        assert run("REP001", "r = Rect(0, 0, int(w / 2), h)\n", self.PATH) == []
+        assert run("REP001", "r = Rect(0, 0, round(w / 2), h)\n", self.PATH) == []
+
+    def test_out_of_scope_file_is_ignored(self):
+        assert run("REP001", "r = Rect(0, 0, 10.5, 20)\n", "src/repro/viz.py") == []
+
+    def test_float_outside_coordinate_call_is_clean(self):
+        # floats are fine as long as they never reach a coordinate
+        assert run("REP001", "ratio = a / b\n", self.PATH) == []
+
+    def test_noqa_suppresses(self):
+        findings = run(
+            "REP001",
+            "r = Rect(0, 0, 10.5, 20)  # repro: noqa[REP001]\n",
+            self.PATH,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — DRC numerals outside the deck/config modules
+# ----------------------------------------------------------------------
+
+
+class TestRep002:
+    def test_literal_drc_keyword(self):
+        findings = run("REP002", "regions = f(layer, min_spacing=10)\n")
+        assert [f.code for f in findings] == ["REP002"]
+        assert "min_spacing" in findings[0].message
+
+    def test_literal_drcrules_positional(self):
+        findings = run("REP002", "rules = DrcRules(10, 10, 100)\n")
+        assert len(findings) == 3
+
+    def test_negative_literal_flagged(self):
+        findings = run("REP002", "f(min_width=-5)\n")
+        assert len(findings) == 1
+
+    def test_value_from_deck_is_clean(self):
+        assert run("REP002", "f(min_spacing=rules.min_spacing)\n") == []
+
+    def test_allowed_modules_are_exempt(self):
+        src = "rules = DrcRules(10, 10, 100)\n"
+        assert run("REP002", src, "src/repro/layout/drc.py") == []
+        assert run("REP002", src, "src/repro/core/config.py") == []
+        assert run("REP002", src, "src/repro/bench/suite.py") == []
+
+    def test_unrelated_keyword_is_clean(self):
+        assert run("REP002", "f(window_margin=0)\n") == []
+
+
+# ----------------------------------------------------------------------
+# REP003 — mutable defaults
+# ----------------------------------------------------------------------
+
+
+class TestRep003:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "dict()", "list()", "{'a': 1}"]
+    )
+    def test_mutable_default_fires(self, default):
+        findings = run("REP003", f"def f(a={default}):\n    pass\n")
+        assert [f.code for f in findings] == ["REP003"]
+
+    def test_keyword_only_default(self):
+        findings = run("REP003", "def f(*, a=[]):\n    pass\n")
+        assert len(findings) == 1
+
+    def test_immutable_defaults_clean(self):
+        assert run("REP003", "def f(a=(), b=None, c=1, d='x'):\n    pass\n") == []
+
+    def test_noqa_suppresses(self):
+        findings = run(
+            "REP003", "def f(a=[]):  # repro: noqa[REP003]\n    pass\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP004 — exception hygiene
+# ----------------------------------------------------------------------
+
+_TRY_BARE = """
+try:
+    solve()
+except:
+    pass
+"""
+
+_TRY_SWALLOW = """
+try:
+    solve()
+except ValueError:
+    pass
+"""
+
+_TRY_HANDLED = """
+try:
+    solve()
+except ValueError:
+    fallback()
+"""
+
+
+class TestRep004:
+    def test_bare_except_is_error_anywhere(self):
+        findings = run("REP004", _TRY_BARE, "src/repro/viz.py")
+        assert [f.code for f in findings] == ["REP004"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_swallowed_exception_in_solver_path(self):
+        findings = run("REP004", _TRY_SWALLOW, "src/repro/netflow/ssp.py")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_swallowed_exception_outside_solver_path_is_clean(self):
+        assert run("REP004", _TRY_SWALLOW, "src/repro/viz.py") == []
+
+    def test_handled_exception_is_clean(self):
+        assert run("REP004", _TRY_HANDLED, "src/repro/core/engine.py") == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — float equality
+# ----------------------------------------------------------------------
+
+
+class TestRep005:
+    def test_float_literal_comparison(self):
+        findings = run("REP005", "hot = density == 0.5\n")
+        assert [f.code for f in findings] == ["REP005"]
+
+    def test_division_result_comparison(self):
+        findings = run("REP005", "if area / window == target:\n    pass\n")
+        assert len(findings) == 1
+
+    def test_not_equal_fires(self):
+        assert len(run("REP005", "x = score != 1.0\n")) == 1
+
+    def test_integer_comparison_clean(self):
+        assert run("REP005", "if count == 0:\n    pass\n") == []
+
+    def test_ordering_comparison_clean(self):
+        assert run("REP005", "if density > 0.5:\n    pass\n") == []
+
+    def test_floor_division_clean(self):
+        assert run("REP005", "if a // b == c:\n    pass\n") == []
+
+    def test_noqa_suppresses(self):
+        findings = run(
+            "REP005", "if value == 0.0:  # repro: noqa[REP005]\n    pass\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP006 — __all__ consistency
+# ----------------------------------------------------------------------
+
+
+class TestRep006:
+    def test_missing_all_with_public_defs(self):
+        findings = run("REP006", "def public():\n    pass\n")
+        assert [f.code for f in findings] == ["REP006"]
+        assert "no __all__" in findings[0].message
+
+    def test_private_only_module_needs_no_all(self):
+        assert run("REP006", "def _helper():\n    pass\n") == []
+
+    def test_unexported_public_def(self):
+        src = "__all__ = ['a']\ndef a():\n    pass\ndef b():\n    pass\n"
+        findings = run("REP006", src)
+        assert len(findings) == 1
+        assert "'b'" in findings[0].message
+
+    def test_phantom_export(self):
+        findings = run("REP006", "__all__ = ['ghost']\n")
+        assert len(findings) == 1
+        assert "'ghost'" in findings[0].message
+
+    def test_consistent_module_clean(self):
+        src = (
+            "__all__ = ['a', 'CONST']\n"
+            "CONST = 3\n"
+            "def a():\n    pass\n"
+            "def _private():\n    pass\n"
+        )
+        assert run("REP006", src) == []
+
+    def test_reexport_via_import_is_defined(self):
+        src = "from x import name\n__all__ = ['name']\n"
+        assert run("REP006", src) == []
+
+    def test_main_module_exempt(self):
+        assert run("REP006", "def main():\n    pass\n", "src/repro/__main__.py") == []
+
+
+# ----------------------------------------------------------------------
+# cross-cutting behaviour
+# ----------------------------------------------------------------------
+
+
+class TestSuppressionAndErrors:
+    def test_blanket_noqa(self):
+        result = analyze_source(
+            "def f(a=[]):  # repro: noqa\n    pass\n", path="src/repro/m.py"
+        )
+        assert result.findings == []
+        assert result.suppressed >= 1
+
+    def test_noqa_in_string_is_not_a_directive(self):
+        result = analyze_source(
+            's = "# repro: noqa"\ndef f(a=[]):\n    pass\n',
+            path="src/repro/m.py",
+            rules=select_rules(["REP003"]),
+        )
+        assert [f.code for f in result.findings] == ["REP003"]
+
+    def test_syntax_error_reported_as_rep000(self):
+        result = analyze_source("def broken(:\n", path="src/repro/m.py")
+        assert [f.code for f in result.findings] == ["REP000"]
+        assert result.findings[0].severity is Severity.ERROR
+
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(["REP999"])
+
+    def test_ignore_filters_rules(self):
+        rules = select_rules(ignore=["REP006"])
+        assert all(r.code != "REP006" for r in rules)
