@@ -28,10 +28,10 @@ gap the paper's contribution closes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core.candidates import grid_candidates
 from ..core.config import FillConfig
 from ..density.analysis import compute_fill_regions, wire_density_map
@@ -112,62 +112,64 @@ def coupling_lp_fill(
     fraction of the window area (the per-net capacitance budgets of
     [11], aggregated to the window level).
     """
-    start = time.perf_counter()
-    rules = layout.rules
-    config = FillConfig()
-    margin = config.effective_margin(rules.min_spacing)
-    num_fills = 0
-    total_coupling = 0
-    budget_limited = 0
+    with obs.span("baseline.coupling_lp") as sp:
+        rules = layout.rules
+        config = FillConfig()
+        margin = config.effective_margin(rules.min_spacing)
+        num_fills = 0
+        total_coupling = 0
+        budget_limited = 0
 
-    wire_indexes: Dict[int, GridIndex[int]] = {}
-    for layer in layout.layers:
-        idx: GridIndex[int] = GridIndex(
-            max(64, min(layout.die.width, layout.die.height) // 16)
-        )
-        for k, w in enumerate(layer.wires):
-            idx.insert(w, k)
-        wire_indexes[layer.number] = idx
+        wire_indexes: Dict[int, GridIndex[int]] = {}
+        for layer in layout.layers:
+            idx: GridIndex[int] = GridIndex(
+                max(64, min(layout.die.width, layout.die.height) // 16)
+            )
+            for k, w in enumerate(layer.wires):
+                idx.insert(w, k)
+            wire_indexes[layer.number] = idx
 
-    for layer in layout.layers:
-        density = wire_density_map(layer, grid)
-        target = float(density.max())
-        regions = compute_fill_regions(layer, grid, rules, window_margin=margin)
-        for i, j, window in grid:
-            aw = grid.window_area(i, j)
-            need = max(0.0, (target - float(density[i, j])) * aw)
-            if need <= 0:
-                continue
-            cands = grid_candidates(regions[(i, j)], rules, anchor=window)
-            if not cands:
-                continue
-            # Slot coupling: overlap with adjacent layers' wires.
-            slots: List[Tuple[int, int]] = []
-            for cand in cands:
-                coupling = 0
-                for adj in (layer.number - 1, layer.number + 1):
-                    if adj in wire_indexes:
-                        for rect, _ in wire_indexes[adj].query_overlapping(cand):
-                            coupling += cand.intersection_area(rect)
-                slots.append((cand.area, coupling))
-            budget = coupling_fraction * aw
-            x = solve_slot_lp(slots, need, budget)
-            spent = sum(frac * c for frac, (_, c) in zip(x, slots))
-            delivered = sum(frac * a for frac, (a, _) in zip(x, slots))
-            if delivered < need - 1e-6 and spent >= budget - 1e-6:
-                budget_limited += 1
-            for cand, frac, (area, coupling) in zip(cands, x, slots):
-                if frac <= 0:
+        for layer in layout.layers:
+            density = wire_density_map(layer, grid)
+            target = float(density.max())
+            regions = compute_fill_regions(layer, grid, rules, window_margin=margin)
+            for i, j, window in grid:
+                aw = grid.window_area(i, j)
+                need = max(0.0, (target - float(density[i, j])) * aw)
+                if need <= 0:
                     continue
-                fill = _shrink_to_fraction(cand, frac, rules)
-                if fill is None:
+                cands = grid_candidates(regions[(i, j)], rules, anchor=window)
+                if not cands:
                     continue
-                layer.add_fill(fill)
-                num_fills += 1
-                total_coupling += int(frac * coupling)
+                # Slot coupling: overlap with adjacent layers' wires.
+                slots: List[Tuple[int, int]] = []
+                for cand in cands:
+                    coupling = 0
+                    for adj in (layer.number - 1, layer.number + 1):
+                        if adj in wire_indexes:
+                            for rect, _ in wire_indexes[adj].query_overlapping(cand):
+                                coupling += cand.intersection_area(rect)
+                    slots.append((cand.area, coupling))
+                budget = coupling_fraction * aw
+                x = solve_slot_lp(slots, need, budget)
+                spent = sum(frac * c for frac, (_, c) in zip(x, slots))
+                delivered = sum(frac * a for frac, (a, _) in zip(x, slots))
+                if delivered < need - 1e-6 and spent >= budget - 1e-6:
+                    budget_limited += 1
+                for cand, frac, (area, coupling) in zip(cands, x, slots):
+                    if frac <= 0:
+                        continue
+                    fill = _shrink_to_fraction(cand, frac, rules)
+                    if fill is None:
+                        continue
+                    layer.add_fill(fill)
+                    num_fills += 1
+                    total_coupling += int(frac * coupling)
+        sp.count("fills", num_fills)
+        sp.count("budget_limited_windows", budget_limited)
     return CouplingLpReport(
         num_fills=num_fills,
         total_coupling=total_coupling,
         budget_limited_windows=budget_limited,
-        seconds=time.perf_counter() - start,
+        seconds=sp.seconds,
     )

@@ -11,10 +11,10 @@ Table 3 reproduction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..core.candidates import grid_candidates
 from ..core.config import FillConfig
 from ..density.analysis import compute_fill_regions
@@ -43,29 +43,30 @@ def greedy_fill(
     density reaches the cap (some foundry decks cap metal density);
     ``None`` fills all free space.
     """
-    start = time.perf_counter()
-    rules = layout.rules
-    config = FillConfig()
-    margin = config.effective_margin(rules.min_spacing)
-    num_fills = 0
-    for layer in layout.layers:
-        regions = compute_fill_regions(
-            layer, grid, rules, window_margin=margin
-        )
-        for i, j, window in grid:
-            cands = grid_candidates(regions[(i, j)], rules)
-            if density_cap is None:
-                chosen = cands
-            else:
-                aw = grid.window_area(i, j)
-                budget = density_cap * aw - layer.wire_area_in(window)
-                chosen = []
-                acc = 0
-                for cand in sorted(cands, key=lambda c: -c.area):
-                    if acc >= budget:
-                        break
-                    chosen.append(cand)
-                    acc += cand.area
-            layer.add_fills(chosen)
-            num_fills += len(chosen)
-    return GreedyReport(num_fills=num_fills, seconds=time.perf_counter() - start)
+    with obs.span("baseline.greedy") as sp:
+        rules = layout.rules
+        config = FillConfig()
+        margin = config.effective_margin(rules.min_spacing)
+        num_fills = 0
+        for layer in layout.layers:
+            regions = compute_fill_regions(
+                layer, grid, rules, window_margin=margin
+            )
+            for i, j, window in grid:
+                cands = grid_candidates(regions[(i, j)], rules)
+                if density_cap is None:
+                    chosen = cands
+                else:
+                    aw = grid.window_area(i, j)
+                    budget = density_cap * aw - layer.wire_area_in(window)
+                    chosen = []
+                    acc = 0
+                    for cand in sorted(cands, key=lambda c: -c.area):
+                        if acc >= budget:
+                            break
+                        chosen.append(cand)
+                        acc += cand.area
+                layer.add_fills(chosen)
+                num_fills += len(chosen)
+        sp.count("fills", num_fills)
+    return GreedyReport(num_fills=num_fills, seconds=sp.seconds)

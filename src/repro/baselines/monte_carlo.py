@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import heapq
 import random
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..density.analysis import compute_fill_regions, wire_density_map
 from ..geometry import Rect
 from ..layout import DrcRules, Layout, WindowGrid
@@ -87,60 +87,62 @@ def monte_carlo_fill(
     carves every inserted fill (bloated by the spacing rule) out of the
     window's region, so the output is DRC-clean by construction.
     """
-    start = time.perf_counter()
-    rng = random.Random(seed)
-    rules = layout.rules
-    margin = -(-rules.min_spacing // 2)
-    num_fills = 0
-    iterations = 0
-    if max_iterations is None:
-        max_iterations = 40 * grid.num_windows * layout.num_layers
+    with obs.span("baseline.monte_carlo") as sp:
+        rng = random.Random(seed)
+        rules = layout.rules
+        margin = -(-rules.min_spacing // 2)
+        num_fills = 0
+        iterations = 0
+        if max_iterations is None:
+            max_iterations = 40 * grid.num_windows * layout.num_layers
 
-    for layer in layout.layers:
-        wire_density = wire_density_map(layer, grid)
-        target = (
-            float(wire_density.max())
-            if target_density is None
-            else target_density
-        )
-        regions = compute_fill_regions(layer, grid, rules, window_margin=margin)
-        # Deficit priority queue: (-deficit, window).
-        deficit: Dict[Tuple[int, int], float] = {}
-        heap: List[Tuple[float, Tuple[int, int]]] = []
-        for i, j, _ in grid:
-            d = (target - float(wire_density[i, j])) * grid.window_area(i, j)
-            deficit[(i, j)] = d
-            if d > 0:
-                heapq.heappush(heap, (-d, (i, j)))
-        exhausted = set()
-        while heap and iterations < max_iterations:
-            neg_d, key = heapq.heappop(heap)
-            if -neg_d != deficit[key] or key in exhausted:
-                continue  # stale entry
-            if deficit[key] <= 0:
-                continue
-            iterations += 1
-            sample = _random_fill_in(regions[key], rules, rng)
-            if sample is None:
-                exhausted.add(key)
-                continue
-            k, fill = sample
-            layer.add_fill(fill)
-            num_fills += 1
-            deficit[key] -= fill.area
-            # Carve the fill (bloated by spacing) out of the free space —
-            # out of every free rectangle, since region pieces can abut
-            # and the fill's spacing halo may reach a neighbouring piece.
-            blocked = fill.expanded(rules.min_spacing)
-            regions[key] = [
-                piece
-                for host in regions[key]
-                for piece in host.subtract(blocked)
-            ]
-            if deficit[key] > 0:
-                heapq.heappush(heap, (-deficit[key], key))
+        for layer in layout.layers:
+            wire_density = wire_density_map(layer, grid)
+            target = (
+                float(wire_density.max())
+                if target_density is None
+                else target_density
+            )
+            regions = compute_fill_regions(layer, grid, rules, window_margin=margin)
+            # Deficit priority queue: (-deficit, window).
+            deficit: Dict[Tuple[int, int], float] = {}
+            heap: List[Tuple[float, Tuple[int, int]]] = []
+            for i, j, _ in grid:
+                d = (target - float(wire_density[i, j])) * grid.window_area(i, j)
+                deficit[(i, j)] = d
+                if d > 0:
+                    heapq.heappush(heap, (-d, (i, j)))
+            exhausted = set()
+            while heap and iterations < max_iterations:
+                neg_d, key = heapq.heappop(heap)
+                if -neg_d != deficit[key] or key in exhausted:
+                    continue  # stale entry
+                if deficit[key] <= 0:
+                    continue
+                iterations += 1
+                sample = _random_fill_in(regions[key], rules, rng)
+                if sample is None:
+                    exhausted.add(key)
+                    continue
+                k, fill = sample
+                layer.add_fill(fill)
+                num_fills += 1
+                deficit[key] -= fill.area
+                # Carve the fill (bloated by spacing) out of the free space —
+                # out of every free rectangle, since region pieces can abut
+                # and the fill's spacing halo may reach a neighbouring piece.
+                blocked = fill.expanded(rules.min_spacing)
+                regions[key] = [
+                    piece
+                    for host in regions[key]
+                    for piece in host.subtract(blocked)
+                ]
+                if deficit[key] > 0:
+                    heapq.heappush(heap, (-deficit[key], key))
+        sp.count("fills", num_fills)
+        sp.count("iterations", iterations)
     return MonteCarloReport(
         num_fills=num_fills,
         iterations=iterations,
-        seconds=time.perf_counter() - start,
+        seconds=sp.seconds,
     )

@@ -21,7 +21,6 @@ approach — hence a poor file-size score.  It stands in for the contest
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -29,6 +28,7 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
+from .. import obs
 from ..layout import Layout, WindowGrid
 from .tiles import TileGrid, build_tile_grid, realize_tile_fill
 
@@ -156,23 +156,25 @@ def tile_lp_fill(
     r: int = 4,
 ) -> TileLpReport:
     """Fill ``layout`` in place with the tile-based LP baseline."""
-    start = time.perf_counter()
-    num_fills = 0
-    num_tiles = 0
-    status: Dict[int, str] = {}
-    for layer in layout.layers:
-        tile_grid = build_tile_grid(layer, grid, layout.rules, r=r)
-        num_tiles += len(tile_grid.tiles)
-        areas, lp_status = _solve_layer_lp(tile_grid, grid)
-        status[layer.number] = lp_status
-        areas = _spread_within_windows(tile_grid, areas)
-        for tile, budget in zip(tile_grid.tiles, areas):
-            fills = realize_tile_fill(tile, float(budget), layout.rules)
-            layer.add_fills(fills)
-            num_fills += len(fills)
+    with obs.span("baseline.tile_lp") as sp:
+        num_fills = 0
+        num_tiles = 0
+        status: Dict[int, str] = {}
+        for layer in layout.layers:
+            tile_grid = build_tile_grid(layer, grid, layout.rules, r=r)
+            num_tiles += len(tile_grid.tiles)
+            areas, lp_status = _solve_layer_lp(tile_grid, grid)
+            status[layer.number] = lp_status
+            areas = _spread_within_windows(tile_grid, areas)
+            for tile, budget in zip(tile_grid.tiles, areas):
+                fills = realize_tile_fill(tile, float(budget), layout.rules)
+                layer.add_fills(fills)
+                num_fills += len(fills)
+        sp.count("fills", num_fills)
+        sp.count("tiles", num_tiles)
     return TileLpReport(
         num_fills=num_fills,
         num_tiles=num_tiles,
         lp_status=status,
-        seconds=time.perf_counter() - start,
+        seconds=sp.seconds,
     )

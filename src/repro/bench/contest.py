@@ -22,12 +22,10 @@ improvement of ours over the best baseline).
 from __future__ import annotations
 
 import io
-import threading
-import time
-import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..baselines import greedy_fill, monte_carlo_fill, tile_lp_fill
 from ..core import DummyFillEngine, FillConfig
 from ..density.scoring import ScoreCard, score_layout
@@ -106,53 +104,6 @@ TEAMS: Dict[str, Callable[[Layout, WindowGrid, Benchmark], None]] = {
 }
 
 
-class _PeakRssSampler:
-    """Samples the process RSS on a background thread.
-
-    The contest's Memory* score measures peak usage during the run;
-    ``tracemalloc`` would be exact but slows Python ~6x, corrupting the
-    simultaneously-measured Run-time* score.  Polling ``/proc`` every
-    few milliseconds costs nothing and captures the peak working set.
-    """
-
-    def __init__(self, interval: float = 0.005):
-        self._interval = interval
-        self._peak = 0
-        self._baseline = self._rss()
-        self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._loop, daemon=True)
-
-    @staticmethod
-    def _rss() -> int:
-        try:
-            with open("/proc/self/statm") as fh:
-                pages = int(fh.read().split()[1])
-            import os
-
-            return pages * os.sysconf("SC_PAGE_SIZE")
-        except (OSError, ValueError, IndexError):
-            return 0
-
-    def _loop(self) -> None:
-        while not self._stop.is_set():
-            self._peak = max(self._peak, self._rss())
-            self._stop.wait(self._interval)
-
-    def __enter__(self) -> "_PeakRssSampler":
-        self._thread.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._stop.set()
-        self._thread.join()
-        self._peak = max(self._peak, self._rss())
-
-    @property
-    def peak_mb(self) -> float:
-        """Peak RSS growth over the run's baseline, in MB."""
-        return max(0.0, (self._peak - self._baseline) / (1024.0 * 1024.0))
-
-
 def run_team(
     benchmark: Benchmark,
     team: str,
@@ -162,35 +113,23 @@ def run_team(
 ) -> ContestEntry:
     """Run one team on one benchmark and score the result.
 
-    ``trace_memory`` samples peak RSS (cheap, default);
-    ``precise_memory`` switches to ``tracemalloc`` (exact Python-heap
-    peak, ~6x slower — do not combine with runtime comparisons).
+    Timing and peak-memory measurement delegate to
+    :func:`repro.obs.measure`: ``trace_memory`` samples peak RSS on a
+    background thread (cheap, default); ``precise_memory`` switches to
+    tracemalloc's exact Python-heap peak (~6x slower — do not combine
+    with runtime comparisons).
     """
     filler = TEAMS[team]
     layout = benchmark.fresh_layout()
-    if precise_memory:
-        tracemalloc.start()
-    sampler = _PeakRssSampler() if trace_memory and not precise_memory else None
-    start = time.perf_counter()
-    if sampler is not None:
-        sampler.__enter__()
-    try:
+    with obs.measure(
+        sample_rss=trace_memory, precise_memory=precise_memory
+    ) as measured, obs.span(f"contest.{team}", benchmark=benchmark.name):
         filler(layout, benchmark.grid, benchmark)
         # Solution file I/O is part of the measured runtime.
         buf = io.BytesIO()
         size_bytes = write_gdsii(layout, buf)
-    finally:
-        if sampler is not None:
-            sampler.__exit__()
-    seconds = time.perf_counter() - start
-    if precise_memory:
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        memory_mb = peak / (1024.0 * 1024.0)
-    elif sampler is not None:
-        memory_mb = sampler.peak_mb
-    else:
-        memory_mb = 0.0
+    seconds = measured.seconds
+    memory_mb = measured.peak_rss_mb
     size_mb = file_size_mb(size_bytes)
     card = score_layout(
         layout,

@@ -16,6 +16,9 @@ on (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
   a tolerance is required (density and scoring paths).
 * **REP006** — ``__all__`` export consistency: public definitions are
   exported and every exported name exists.
+* **REP007** — one clock: raw ``time.perf_counter()`` / ``tracemalloc``
+  belong to ``repro/obs`` only; everything else measures through
+  spans, :func:`repro.obs.measure` or the RSS sampler.
 
 Rules are registered in :data:`RULE_REGISTRY` via the
 :func:`register` decorator; adding a rule is writing a subclass of
@@ -42,6 +45,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "FloatEqualityRule",
     "ExportConsistencyRule",
+    "RawTimerRule",
 ]
 
 
@@ -549,6 +553,76 @@ class ExportConsistencyRule(Rule):
                         for target in sub.targets:
                             names.update(_assigned_names(target))
         return names
+
+
+# ----------------------------------------------------------------------
+# REP007 — raw timers/tracemalloc outside repro.obs
+# ----------------------------------------------------------------------
+
+_TIMER_NAMES = {"perf_counter", "perf_counter_ns"}
+
+
+@register
+class RawTimerRule(Rule):
+    """Raw ``time.perf_counter()``/``tracemalloc`` outside ``repro/obs``.
+
+    The contest objective (Eqn. (3), Table 2) scores run time and peak
+    memory, so the repo keeps exactly one clock implementation —
+    :mod:`repro.obs`.  A hand-rolled ``perf_counter`` pair elsewhere
+    produces seconds no run record captures and no perf PR can diff;
+    ``tracemalloc`` additionally slows Python ~6x and corrupts any
+    concurrently measured runtime.  Use ``obs.span(...)``,
+    ``obs.measure(...)`` or ``obs.PeakRssSampler`` instead, or
+    acknowledge a deliberate exception with ``# repro: noqa[REP007]``.
+    """
+
+    code = "REP007"
+    summary = "raw time.perf_counter()/tracemalloc outside repro/obs"
+    default_severity = Severity.ERROR
+    #: the one sanctioned home of raw clocks and memory tracers
+    allowed = ("repro/obs/",)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.in_scope(self.allowed)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "tracemalloc":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "tracemalloc import outside repro/obs; measure "
+                            "through repro.obs.measure()/PeakRssSampler",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                if module == "tracemalloc":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "tracemalloc import outside repro/obs; measure "
+                        "through repro.obs.measure()/PeakRssSampler",
+                    )
+                elif module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIMER_NAMES:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"time.{alias.name} import outside repro/obs; "
+                                "time through repro.obs spans",
+                            )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in _TIMER_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw {name}() call outside repro/obs; wrap the "
+                        "region in an obs.span(...) instead",
+                    )
 
 
 def _assigned_names(target: ast.expr) -> Set[str]:

@@ -7,19 +7,26 @@ this CLI exposes the same workflow:
 * ``info``     — print a GDSII file's layers, shape counts, densities,
 * ``fill``     — insert dummy fill into a GDSII file (the main tool),
 * ``score``    — score a filled GDSII against contest-style weights,
-* ``drc``      — check the fills of a GDSII for rule violations.
+* ``drc``      — check the fills of a GDSII for rule violations,
+* ``trace``    — render/diff run records written by ``--trace-out``
+  (forwards to ``python -m repro.obs``).
 
 Every command reads and writes real GDSII byte streams, so the CLI
-composes with any external layout tooling.
+composes with any external layout tooling.  ``fill`` and ``score``
+accept ``--trace-out PATH`` to write a :mod:`repro.obs` run record
+(JSONL) of the command, and ``--log-level`` to tune logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
+from . import obs
 from .bench.generator import LayoutSpec, generate_layout
 from .bench.suite import calibrate_weights
 from .core import DummyFillEngine, FillConfig
@@ -36,6 +43,35 @@ def _add_rules_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--min-width", type=int, default=10)
     group.add_argument("--min-area", type=int, default=400)
     group.add_argument("--max-fill", type=int, default=150, help="max fill edge")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out",
+        type=Path,
+        metavar="PATH",
+        help="write a run record (JSONL spans, metrics, peak RSS) to PATH",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="logging verbosity (default: warning)",
+    )
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace, label: str) -> Iterator[None]:
+    """Apply --log-level and record the command when --trace-out is set."""
+    logging.basicConfig(level=getattr(logging, args.log_level.upper()))
+    logging.getLogger("repro").setLevel(getattr(logging, args.log_level.upper()))
+    if args.trace_out is None:
+        yield
+        return
+    with obs.record_run(args.trace_out, label=label):
+        yield
+    print(f"wrote run record {args.trace_out}")
 
 
 def _rules_from(args: argparse.Namespace) -> DrcRules:
@@ -91,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a markdown run report to this path",
     )
     _add_rules_args(fill)
+    _add_obs_args(fill)
 
     score = sub.add_parser("score", help="score a filled GDSII")
     score.add_argument("input", type=Path, help="filled layout")
@@ -102,10 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     score.add_argument("--windows", type=int, default=8)
     _add_rules_args(score)
+    _add_obs_args(score)
 
     drc = sub.add_parser("drc", help="check fills against the rule deck")
     drc.add_argument("input", type=Path)
     _add_rules_args(drc)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render or diff run records (see `repro trace --help`)",
+        add_help=False,
+    )
+    trace.add_argument(
+        "trace_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.obs`",
+    )
 
     return parser
 
@@ -146,45 +195,53 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_fill(args: argparse.Namespace) -> int:
-    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
-    grid = _grid_from(args, layout)
-    config = FillConfig(
-        eta=args.eta,
-        lambda_factor=args.lambda_factor,
-        gamma=args.gamma,
-        solver=args.solver,
-    )
-    report = DummyFillEngine(config).run(layout, grid)
-    violations = layout.check_drc()
-    args.output.write_bytes(gdsii_bytes(layout))
-    print(report.summary())
-    if args.report is not None:
-        from .report import render_report
+    with _observed(args, label="repro fill"):
+        with obs.span("io.read"):
+            layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+        grid = _grid_from(args, layout)
+        config = FillConfig(
+            eta=args.eta,
+            lambda_factor=args.lambda_factor,
+            gamma=args.gamma,
+            solver=args.solver,
+        )
+        report = DummyFillEngine(config).run(layout, grid)
+        with obs.span("drc"):
+            violations = layout.check_drc()
+        with obs.span("io.write"):
+            args.output.write_bytes(gdsii_bytes(layout))
+        print(report.summary())
+        if args.report is not None:
+            from .report import render_report
 
-        args.report.write_text(render_report(layout, grid, report))
-        print(f"wrote report {args.report}")
-    print(
-        f"wrote {args.output}: {layout.num_fills} fills, "
-        f"{args.output.stat().st_size} bytes, {len(violations)} DRC violations"
-    )
+            args.report.write_text(render_report(layout, grid, report))
+            print(f"wrote report {args.report}")
+        print(
+            f"wrote {args.output}: {layout.num_fills} fills, "
+            f"{args.output.stat().st_size} bytes, {len(violations)} DRC violations"
+        )
     return 0 if not violations else 2
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
-    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
-    grid = _grid_from(args, layout)
-    if args.reference is not None:
-        reference = layout_from_gdsii(
-            args.reference.read_bytes(), _rules_from(args)
-        )
-    else:
-        reference = layout.copy_without_fills()
-    ref_grid = WindowGrid(reference.die, args.windows, args.windows)
-    weights = calibrate_weights(reference, ref_grid, 60.0, 1024.0)
-    size = file_size_mb(args.input.stat().st_size)
-    card = score_layout(layout, grid, weights, file_size=size)
-    for name, value in card.as_row().items():
-        print(f"  {name:<10} {value:.3f}")
+    with _observed(args, label="repro score"):
+        with obs.span("io.read"):
+            layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+        grid = _grid_from(args, layout)
+        if args.reference is not None:
+            reference = layout_from_gdsii(
+                args.reference.read_bytes(), _rules_from(args)
+            )
+        else:
+            reference = layout.copy_without_fills()
+        ref_grid = WindowGrid(reference.die, args.windows, args.windows)
+        with obs.span("calibrate"):
+            weights = calibrate_weights(reference, ref_grid, 60.0, 1024.0)
+        size = file_size_mb(args.input.stat().st_size)
+        with obs.span("score"):
+            card = score_layout(layout, grid, weights, file_size=size)
+        for name, value in card.as_row().items():
+            print(f"  {name:<10} {value:.3f}")
     return 0
 
 
@@ -197,12 +254,19 @@ def _cmd_drc(args: argparse.Namespace) -> int:
     return 0 if not violations else 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.cli import main as obs_main
+
+    return obs_main(args.trace_args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "fill": _cmd_fill,
     "score": _cmd_score,
     "drc": _cmd_drc,
+    "trace": _cmd_trace,
 }
 
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..density.analysis import LayerDensity
 from ..geometry import GridIndex, Rect, intersection_area, rect_set_intersect
 from ..layout import DrcRules, Layout, WindowGrid
@@ -358,6 +359,13 @@ def generate_candidates(
             # balances where the empty tiles are.
             ctx.selected[l] = _select_until([c for _, c in scored], need)
         result[key] = ctx.selected
+        obs.metrics.counter("candidates.windows").inc()
+        for l, chosen in ctx.selected.items():
+            if chosen:
+                round_name = "odd" if l % 2 == 1 else "even"
+                obs.metrics.counter(f"candidates.round.{round_name}").inc(
+                    len(chosen)
+                )
     return result
 
 

@@ -18,12 +18,12 @@ Runs the full flow on a layout:
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..contracts import check_drc_params, check_rect
 from ..density.analysis import LayerDensity, analyze_layout
 from ..density.scoring import ScoreWeights
@@ -102,55 +102,61 @@ class DummyFillEngine:
         flow (:mod:`repro.eco`) uses to re-fill only changed windows.
         """
         config = self.config
-        timer = _StageTimer()
         check_drc_params(layout.rules, name="layout.rules")
 
-        with timer.stage("analysis"):
-            margin = config.effective_margin(layout.rules.min_spacing)
-            analysis = analyze_layout(layout, grid, window_margin=margin)
+        with obs.span("engine.run") as run_span:
+            with obs.span("analysis"):
+                margin = config.effective_margin(layout.rules.min_spacing)
+                analysis = analyze_layout(layout, grid, window_margin=margin)
+                obs.count("engine.layers", len(analysis))
+                obs.count("engine.windows", grid.num_windows)
 
-        with timer.stage("planning"):
-            initial_plan = plan_targets(
-                analysis, self.objective, td_step=config.td_step
-            )
-        logger.info(
-            "planned targets: %s",
-            {n: round(p.td, 3) for n, p in initial_plan.layers.items()},
-        )
-
-        with timer.stage("candidates"):
-            candidates = generate_candidates(
-                layout, grid, initial_plan, analysis, config, windows=windows
-            )
-            num_candidates = sum(
-                len(rects)
-                for per_layer in candidates.values()
-                for rects in per_layer.values()
+            with obs.span("planning"):
+                initial_plan = plan_targets(
+                    analysis, self.objective, td_step=config.td_step
+                )
+            logger.info(
+                "planned targets: %s",
+                {n: round(p.td, 3) for n, p in initial_plan.layers.items()},
             )
 
-        with timer.stage("replanning"):
-            final_plan = self._replan(layout, grid, analysis, candidates)
-            targets = self._target_fill_areas(grid, analysis, final_plan)
+            with obs.span("candidates"):
+                candidates = generate_candidates(
+                    layout, grid, initial_plan, analysis, config, windows=windows
+                )
+                num_candidates = sum(
+                    len(rects)
+                    for per_layer in candidates.values()
+                    for rects in per_layer.values()
+                )
+                obs.count("engine.candidates", num_candidates)
 
-        logger.info("generated %d candidate fills", num_candidates)
+            with obs.span("replanning"):
+                final_plan = self._replan(layout, grid, analysis, candidates)
+                targets = self._target_fill_areas(grid, analysis, final_plan)
 
-        with timer.stage("sizing"):
-            sized, stats = size_fills(layout, grid, candidates, targets, config)
-        logger.info(
-            "sizing: %d LP solves, %d fills dropped",
-            stats.lp_solves,
-            stats.dropped_fills,
-        )
+            logger.info("generated %d candidate fills", num_candidates)
 
-        with timer.stage("insertion"):
-            num_fills = 0
-            for per_layer in sized.values():
-                for layer_number, rects in per_layer.items():
-                    layout.layer(layer_number).add_fills(
-                        check_rect(r, name=f"fill on layer {layer_number}")
-                        for r in rects
-                    )
-                    num_fills += len(rects)
+            with obs.span("sizing"):
+                sized, stats = size_fills(layout, grid, candidates, targets, config)
+                obs.count("engine.lp_solves", stats.lp_solves)
+                obs.count("engine.dropped_fills", stats.dropped_fills)
+            logger.info(
+                "sizing: %d LP solves, %d fills dropped",
+                stats.lp_solves,
+                stats.dropped_fills,
+            )
+
+            with obs.span("insertion"):
+                num_fills = 0
+                for per_layer in sized.values():
+                    for layer_number, rects in per_layer.items():
+                        layout.layer(layer_number).add_fills(
+                            check_rect(r, name=f"fill on layer {layer_number}")
+                            for r in rects
+                        )
+                        num_fills += len(rects)
+                obs.count("engine.fills", num_fills)
 
         return FillReport(
             initial_plan=initial_plan,
@@ -158,7 +164,7 @@ class DummyFillEngine:
             num_candidates=num_candidates,
             num_fills=num_fills,
             sizing=stats,
-            stage_seconds=timer.seconds,
+            stage_seconds={c.name: c.seconds for c in run_span.children},
         )
 
     # ------------------------------------------------------------------
@@ -217,32 +223,6 @@ class DummyFillEngine:
                 for n in analysis
             }
         return out
-
-
-class _StageTimer:
-    """Tiny context-manager stopwatch for the engine stages."""
-
-    def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {}
-
-    def stage(self, name: str) -> "_Stage":
-        return _Stage(self, name)
-
-
-class _Stage:
-    def __init__(self, timer: _StageTimer, name: str):
-        self._timer = timer
-        self._name = name
-
-    def __enter__(self) -> None:
-        self._start = time.perf_counter()
-
-    def __exit__(self, *exc) -> None:
-        self._timer.seconds[self._name] = (
-            self._timer.seconds.get(self._name, 0.0)
-            + time.perf_counter()
-            - self._start
-        )
 
 
 def insert_fills(

@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..density.analysis import LayerDensity
 from ..density.metrics import line_hotspots, outlier_hotspots, variation
 from ..density.scoring import ScoreWeights
@@ -170,7 +171,9 @@ def plan_targets(
 
     best_combo: Optional[Tuple[Tuple[float, float, float, float], ...]] = None
     best_score = -np.inf
+    combinations = 0
     for combo in itertools.product(*(options[n] for n in numbers)):
+        combinations += 1
         sigma_sum = sum(c[1] for c in combo)
         line_sum = sum(c[2] for c in combo)
         outlier_sum = sum(c[3] for c in combo)
@@ -179,6 +182,11 @@ def plan_targets(
             best_score = score
             best_combo = combo
     assert best_combo is not None
+    obs.metrics.counter("planner.combinations").inc(combinations)
+    obs.metrics.counter("planner.case2_layers").inc(
+        sum(1 for c in cases.values() if c == "II")
+    )
+    obs.count("planner.combinations", combinations)
 
     layers = {}
     for n, choice in zip(numbers, best_combo):

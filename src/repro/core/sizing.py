@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..contracts import check_drc_params
 from ..geometry import GridIndex, Rect
 from ..layout import DrcRules, Layout, WindowGrid
@@ -270,6 +271,9 @@ def _horizontal_pass(
     stats.lp_solves += 1
     stats.variables += lp.num_variables
     stats.constraints += lp.num_constraints
+    obs.metrics.counter("sizing.lp_solves").inc()
+    obs.metrics.histogram("sizing.lp.variables").observe(lp.num_variables)
+    obs.metrics.histogram("sizing.lp.constraints").observe(lp.num_constraints)
     try:
         solution = solve(lp)
     except LPInfeasibleError:
@@ -471,6 +475,7 @@ def size_fills(
         if not any(cands.values()):
             result[key] = {l: [] for l in cands}
             continue
+        obs.metrics.counter("sizing.windows").inc()
         wires_nearby = {
             n: [r for r, _ in wire_indexes[n].query_within(window, margin)]
             for n in layout.layer_numbers
@@ -485,4 +490,5 @@ def size_fills(
         )
         result[key] = sized
         total.merge(stats)
+    obs.metrics.counter("sizing.dropped_fills").inc(total.dropped_fills)
     return result, total

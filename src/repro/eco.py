@@ -18,10 +18,10 @@ byte-identical before and after (the stability the tests assert).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Set, Tuple
 
+from . import obs
 from .core import DummyFillEngine, FillConfig
 from .density.scoring import ScoreWeights
 from .geometry import Rect
@@ -84,47 +84,50 @@ def apply_eco(
     layout must already be filled (by the engine or any other filler);
     fills outside the affected windows are left untouched.
     """
-    start = time.perf_counter()
-    if config is None:
-        config = FillConfig()
-    rules = layout.rules
-    num_new = 0
-    for number, rects in new_wires.items():
-        for rect in rects:
-            if not layout.die.contains(rect):
-                raise ValueError(f"new wire {rect} escapes the die")
-        layout.layer(number).add_wires(rects)
-        num_new += len(rects)
+    with obs.span("eco.apply") as sp:
+        if config is None:
+            config = FillConfig()
+        rules = layout.rules
+        num_new = 0
+        for number, rects in new_wires.items():
+            for rect in rects:
+                if not layout.die.contains(rect):
+                    raise ValueError(f"new wire {rect} escapes the die")
+            layout.layer(number).add_wires(rects)
+            num_new += len(rects)
 
-    halo = rules.min_spacing + config.effective_margin(rules.min_spacing)
-    affected = affected_windows(grid, new_wires, halo)
+        halo = rules.min_spacing + config.effective_margin(rules.min_spacing)
+        affected = affected_windows(grid, new_wires, halo)
+        sp.count("eco.affected_windows", len(affected))
 
-    # Rip up every fill whose footprint touches an affected window.
-    removed = 0
-    if affected:
-        affected_rects = [grid.window(i, j) for i, j in affected]
-        for layer in layout.layers:
-            fills = layer.fills
-            keep: List[Rect] = []
-            for fill in fills:
-                if any(fill.touches(w) for w in affected_rects):
-                    removed += 1
-                else:
-                    keep.append(fill)
-            layer.clear_fills()
-            layer.add_fills(keep)
+        # Rip up every fill whose footprint touches an affected window.
+        removed = 0
+        if affected:
+            with obs.span("eco.ripup"):
+                affected_rects = [grid.window(i, j) for i, j in affected]
+                for layer in layout.layers:
+                    fills = layer.fills
+                    keep: List[Rect] = []
+                    for fill in fills:
+                        if any(fill.touches(w) for w in affected_rects):
+                            removed += 1
+                        else:
+                            keep.append(fill)
+                    layer.clear_fills()
+                    layer.add_fills(keep)
+        sp.count("eco.removed_fills", removed)
 
-    # Re-fill only the affected windows; analysis and planning remain
-    # global so the patch matches the surrounding density discipline.
-    new_fills = 0
-    if affected:
-        engine = DummyFillEngine(config, weights)
-        report = engine.run(layout, grid, windows=sorted(affected))
-        new_fills = report.num_fills
+        # Re-fill only the affected windows; analysis and planning remain
+        # global so the patch matches the surrounding density discipline.
+        new_fills = 0
+        if affected:
+            engine = DummyFillEngine(config, weights)
+            report = engine.run(layout, grid, windows=sorted(affected))
+            new_fills = report.num_fills
     return EcoReport(
         new_wires=num_new,
         removed_fills=removed,
         affected_windows=sorted(affected),
         new_fills=new_fills,
-        seconds=time.perf_counter() - start,
+        seconds=sp.seconds,
     )

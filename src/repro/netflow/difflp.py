@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
+from .. import obs
 from .dualmcf import DifferentialLP, DualMcfSolution, LPInfeasibleError
 
 __all__ = ["solve_linprog"]
@@ -29,6 +30,7 @@ def solve_linprog(lp: DifferentialLP) -> DualMcfSolution:
     n = lp.num_variables
     if n == 0:
         return DualMcfSolution(x=[], objective=0, flow_cost=0)
+    obs.metrics.counter("netflow.linprog.solves").inc()
     c = np.asarray(lp.costs, dtype=np.float64)
     bounds = list(zip(lp.lowers, lp.uppers))
     if lp.constraints:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from .. import obs
 from .graph import (
     FlowNetwork,
     FlowResult,
@@ -167,6 +168,10 @@ def solve_dual_mcf(
         return DualMcfSolution(x=[], objective=0, flow_cost=0)
     if decompose:
         components = _components(lp)
+        obs.metrics.counter("netflow.dual_mcf.solves").inc()
+        obs.metrics.histogram("netflow.dual_mcf.components").observe(
+            len(components)
+        )
         if len(components) > 1:
             x: List[int] = [0] * lp.num_variables
             total_obj = 0

@@ -1,0 +1,86 @@
+"""``repro.obs`` — unified tracing, metrics and run records.
+
+The measurement substrate of the repo.  The contest objective the
+paper optimizes (Eqn. (3), Table 2) scores run time and peak memory
+alongside overlay and density variation; this package is the one
+implementation of those clocks:
+
+* **spans** (:mod:`repro.obs.spans`) — hierarchical timed regions with
+  exception tagging and mid-span counters; the engine's five stages,
+  every baseline and the ECO flow report their ``seconds`` through
+  spans,
+* **metrics** (:mod:`repro.obs.metrics`) — process-wide counters,
+  gauges and histograms (LP/dual-MCF alternation counts, candidates
+  per Alg. 1 round, windows touched),
+* **run records** (:mod:`repro.obs.record`) — one JSONL event stream
+  plus summary (git sha, stage seconds, peak RSS, metric snapshots)
+  per observed run, written by ``--trace-out`` and read back by
+  ``python -m repro.obs summarize`` / ``repro trace``,
+* **memory** (:mod:`repro.obs.rss`) — the only sanctioned home of
+  RSS sampling and tracemalloc (rule REP007 forbids raw
+  ``time.perf_counter()``/``tracemalloc`` elsewhere).
+
+See ``docs/OBSERVABILITY.md`` for the model and the JSONL schema.
+"""
+
+from . import metrics
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    set_registry,
+)
+from .record import (
+    Measurement,
+    RecordError,
+    RunRecord,
+    RunRecorder,
+    measure,
+    read_record,
+    record_run,
+)
+from .rss import PeakRssSampler, current_rss_bytes, traced_memory
+from .spans import (
+    Span,
+    Tracer,
+    active_tracer,
+    annotate,
+    count,
+    current_span,
+    set_tracer,
+    span,
+)
+from .summarize import diff_records, format_metrics, format_record
+
+__all__ = [
+    "metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "set_registry",
+    "Measurement",
+    "RecordError",
+    "RunRecord",
+    "RunRecorder",
+    "measure",
+    "read_record",
+    "record_run",
+    "PeakRssSampler",
+    "current_rss_bytes",
+    "traced_memory",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "annotate",
+    "count",
+    "current_span",
+    "set_tracer",
+    "span",
+    "diff_records",
+    "format_metrics",
+    "format_record",
+]

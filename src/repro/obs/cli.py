@@ -1,0 +1,68 @@
+"""Run-record reader CLI: ``python -m repro.obs`` / ``repro trace``.
+
+Subcommands:
+
+* ``summarize RECORD.jsonl`` — render the stage-tree timing table,
+  counters and metric snapshot of one run record,
+* ``diff BEFORE.jsonl AFTER.jsonl`` — line two records up span by span
+  and metric by metric (the before/after table a perf PR cites).
+
+Exit codes: ``0`` ok, ``2`` on unreadable or malformed records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .record import RecordError, RunRecord, read_record
+from .summarize import diff_records, format_record
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Read, render and compare repro run records (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="render one run record as a stage-tree table"
+    )
+    summarize.add_argument("record", type=Path, help="run record (JSONL)")
+
+    diff = sub.add_parser("diff", help="compare two run records")
+    diff.add_argument("before", type=Path)
+    diff.add_argument("after", type=Path)
+
+    return parser
+
+
+def _load(path: Path) -> RunRecord:
+    try:
+        return read_record(path)
+    except (OSError, RecordError) as exc:
+        raise SystemExit(f"repro.obs: {exc}") from exc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            print(format_record(_load(args.record)))
+        else:
+            print(diff_records(_load(args.before), _load(args.after)))
+    except SystemExit as exc:
+        if exc.code and not isinstance(exc.code, int):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early
+        sys.stderr.close()
+        return 0
+    return 0

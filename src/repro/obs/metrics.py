@@ -1,0 +1,249 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Spans time *regions*; metrics aggregate *events* across the whole run
+— LP/dual-MCF alternation counts from the sizing passes, candidate
+counts per Alg. 1 round, windows touched, flow-solver invocations.
+Instrumented code asks the active registry for a named instrument and
+updates it::
+
+    from repro import obs
+
+    obs.metrics.counter("sizing.lp_solves").inc()
+    obs.metrics.gauge("planner.td.layer1").set(0.42)
+    obs.metrics.histogram("sizing.lp.variables").observe(n_vars)
+
+Like the span tracer, a process-wide default registry always exists;
+:func:`repro.obs.record.record_run` installs a fresh one per recorded
+run so snapshots describe exactly one run.  All instruments are
+thread-safe (one lock per registry; updates are cheap).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self._written = False
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+        self._written = True
+
+    def add(self, amount: Number) -> None:
+        self.value += amount
+        self._written = True
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values with percentile queries.
+
+    Observations are kept exactly up to ``max_samples`` and then
+    reservoir-free downsampled (every other sample dropped, stride
+    doubled) — percentiles stay representative while memory stays
+    bounded on million-observation runs.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, max_samples: int = 8192):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self._samples.append(v)
+        self._skip = self._stride - 1
+        if len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100] of the samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} out of [0, 100]")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[int(rank)]
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments for one process or one recorded run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory: Callable[[str], Instrument]) -> Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory(name)
+                self._instruments[name] = inst
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        inst = self._get(name, Counter)
+        if not isinstance(inst, Counter):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a counter")
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._get(name, Gauge)
+        if not isinstance(inst, Gauge):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a gauge")
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._get(name, Histogram)
+        if not isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} is a {inst.kind}, not a histogram")
+        return inst
+
+    def names(self) -> Sequence[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready state of every instrument, sorted by name."""
+        with self._lock:
+            return {
+                name: self._instruments[name].as_dict()
+                for name in sorted(self._instruments)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+#: process-wide fallback registry; record_run() swaps in a fresh one
+_DEFAULT_REGISTRY = MetricsRegistry()
+_REGISTRY: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_obs_registry", default=_DEFAULT_REGISTRY
+)
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry instrument lookups currently resolve against."""
+    return _REGISTRY.get()
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> Callable[[], None]:
+    """Install ``registry`` (or the process default when ``None``).
+
+    Returns a zero-argument restore function undoing the installation.
+    """
+    token = _REGISTRY.set(
+        registry if registry is not None else _DEFAULT_REGISTRY
+    )
+    return lambda: _REGISTRY.reset(token)
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter on the active registry."""
+    return active_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge on the active registry."""
+    return active_registry().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create a histogram on the active registry."""
+    return active_registry().histogram(name)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    """Snapshot of the active registry."""
+    return active_registry().snapshot()

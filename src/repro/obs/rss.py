@@ -1,0 +1,90 @@
+"""Peak-memory measurement: RSS sampler thread and tracemalloc wrapper.
+
+The contest's Memory* score (Eqn. (3), Table 2) measures peak usage
+during the run.  ``tracemalloc`` would be exact but slows Python ~6x,
+corrupting the simultaneously-measured Run-time* score, so the default
+is a background thread polling ``/proc/self/statm`` every few
+milliseconds — effectively free, and it captures the peak working set
+including numpy/scipy allocations tracemalloc never sees.
+
+This module is the **only** place in the repo allowed to touch
+``tracemalloc`` (rule REP007); everything else measures through
+:class:`PeakRssSampler`, :func:`traced_memory` or
+:func:`repro.obs.record.measure`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator, List
+
+__all__ = ["PeakRssSampler", "traced_memory", "current_rss_bytes"]
+
+_MB = 1024.0 * 1024.0
+
+
+def current_rss_bytes() -> int:
+    """The process resident set size right now (0 where /proc is absent)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return 0
+
+
+class PeakRssSampler:
+    """Samples the process RSS on a background thread.
+
+    Use as a context manager around the measured region; read
+    :attr:`peak_mb` (growth over the entry baseline) afterwards.
+    """
+
+    def __init__(self, interval: float = 0.005):
+        self._interval = interval
+        self._peak = 0
+        self._baseline = current_rss_bytes()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._peak = max(self._peak, current_rss_bytes())
+            self._stop.wait(self._interval)
+
+    def __enter__(self) -> "PeakRssSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stop.set()
+        self._thread.join()
+        self._peak = max(self._peak, current_rss_bytes())
+
+    @property
+    def peak_mb(self) -> float:
+        """Peak RSS growth over the run's baseline, in MB."""
+        return max(0.0, (self._peak - self._baseline) / _MB)
+
+    @property
+    def peak_bytes(self) -> int:
+        return max(0, self._peak - self._baseline)
+
+
+@contextmanager
+def traced_memory(out_mb: List[float]) -> Iterator[None]:
+    """Exact Python-heap peak via tracemalloc (~6x slower).
+
+    Appends the peak in MB to ``out_mb`` on exit.  Do not combine with
+    runtime comparisons.
+    """
+    tracemalloc.start()
+    try:
+        yield
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out_mb.append(peak / _MB)

@@ -1,0 +1,154 @@
+"""Render and compare run records.
+
+:func:`format_record` renders one record as a stage-tree timing table
+(indented span tree, seconds, share of the root, counters) followed by
+the metric snapshot; :func:`diff_records` lines two records up span by
+span and metric by metric — the before/after evidence a performance PR
+cites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .record import RunRecord
+
+__all__ = ["format_record", "format_metrics", "diff_records"]
+
+
+def _fmt_counters(counters: Mapping[str, float]) -> str:
+    parts = []
+    for name in sorted(counters):
+        v = counters[name]
+        parts.append(f"{name}={int(v) if float(v).is_integer() else round(v, 3)}")
+    return " ".join(parts)
+
+
+def format_record(record: RunRecord) -> str:
+    """One record as a stage-tree timing table plus metrics."""
+    lines: List[str] = []
+    meta = record.meta
+    sha = meta.get("git_sha") or "unknown"
+    lines.append(f"run record: {record.label}  (git {str(sha)[:12]})")
+    summary = record.summary
+    peak = summary.get("peak_rss_mb")
+    lines.append(
+        f"status {summary.get('status', '?')}, "
+        f"total {float(summary.get('seconds', 0.0)):.3f}s, "
+        f"peak RSS {'n/a' if peak is None else f'{float(peak):.1f} MB'}, "
+        f"{len(record.spans)} span(s)"
+    )
+    lines.append("")
+    name_w = max(
+        [len("stage")]
+        + [2 * int(s.get("depth", 0)) + len(str(s["name"])) for s in record.spans]
+    )
+    total = sum(
+        float(s["seconds"]) for s in record.spans if int(s.get("depth", 0)) == 0
+    )
+    lines.append(f"{'stage':<{name_w}}  {'seconds':>9}  {'share':>6}  counters")
+    lines.append("-" * (name_w + 30))
+    for s in record.spans:
+        depth = int(s.get("depth", 0))
+        seconds = float(s["seconds"])
+        share = seconds / total if total > 0 else 0.0
+        label = "  " * depth + str(s["name"])
+        tag = "" if s.get("status", "ok") == "ok" else f"  !{s.get('error', 'error')}"
+        counters = _fmt_counters(s.get("counters", {}))
+        lines.append(
+            f"{label:<{name_w}}  {seconds:>9.3f}  {share:>5.1%}  {counters}{tag}"
+        )
+    if record.metrics:
+        lines.append("")
+        lines.append(format_metrics(record.metrics))
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> str:
+    """The metric snapshot as an aligned table."""
+    lines = ["metrics:"]
+    name_w = max(len(n) for n in metrics)
+    for name in sorted(metrics):
+        m = metrics[name]
+        kind = m.get("kind", "?")
+        if kind == "histogram":
+            detail = (
+                f"count={int(m.get('count', 0))} mean={float(m.get('mean', 0)):.3g} "
+                f"p50={float(m.get('p50', 0)):.3g} p90={float(m.get('p90', 0)):.3g} "
+                f"p99={float(m.get('p99', 0)):.3g} max={float(m.get('max', 0)):.3g}"
+            )
+        else:
+            value = float(m.get("value", 0.0))
+            detail = f"{int(value)}" if value.is_integer() else f"{value:.6g}"
+        lines.append(f"  {name:<{name_w}}  [{kind}]  {detail}")
+    return "\n".join(lines)
+
+
+def _span_index(record: RunRecord) -> Dict[Tuple[str, ...], float]:
+    """Map each span's tree path to its total seconds (repeats summed)."""
+    out: Dict[Tuple[str, ...], float] = {}
+    stack: List[str] = []
+    for s in record.spans:
+        depth = int(s.get("depth", 0))
+        del stack[depth:]
+        stack.append(str(s["name"]))
+        key = tuple(stack)
+        out[key] = out.get(key, 0.0) + float(s["seconds"])
+    return out
+
+
+def _fmt_delta(before: Optional[float], after: Optional[float]) -> str:
+    if before is None:
+        return f"{'—':>9}  {after:>9.3f}   (new)"
+    if after is None:
+        return f"{before:>9.3f}  {'—':>9}   (gone)"
+    delta = after - before
+    rel = f" ({delta / before:+.1%})" if before > 0 else ""
+    return f"{before:>9.3f}  {after:>9.3f}  {delta:>+9.3f}{rel}"
+
+
+def diff_records(a: RunRecord, b: RunRecord) -> str:
+    """Span-by-span and metric-by-metric comparison of two records."""
+    lines: List[str] = []
+    lines.append(
+        f"diff: {a.label} (git {str(a.meta.get('git_sha') or '?')[:10]})"
+        f"  →  {b.label} (git {str(b.meta.get('git_sha') or '?')[:10]})"
+    )
+    sa = float(a.summary.get("seconds", 0.0))
+    sb = float(b.summary.get("seconds", 0.0))
+    lines.append(f"total seconds   {_fmt_delta(sa, sb)}")
+    pa, pb = a.summary.get("peak_rss_mb"), b.summary.get("peak_rss_mb")
+    if pa is not None and pb is not None:
+        lines.append(f"peak RSS (MB)   {_fmt_delta(float(pa), float(pb))}")
+    lines.append("")
+
+    ia, ib = _span_index(a), _span_index(b)
+    keys = sorted(set(ia) | set(ib))
+    if keys:
+        name_w = max(len("span"), max(len("/".join(k)) for k in keys))
+        lines.append(f"{'span':<{name_w}}  {'before':>9}  {'after':>9}  {'delta':>9}")
+        lines.append("-" * (name_w + 33))
+        for key in keys:
+            lines.append(
+                f"{'/'.join(key):<{name_w}}  {_fmt_delta(ia.get(key), ib.get(key))}"
+            )
+        lines.append("")
+
+    names = sorted(set(a.metrics) | set(b.metrics))
+    if names:
+        name_w = max(len("metric"), max(len(n) for n in names))
+        lines.append(f"{'metric':<{name_w}}  {'before':>9}  {'after':>9}  {'delta':>9}")
+        lines.append("-" * (name_w + 33))
+        for name in names:
+            va = _metric_value(a.metrics.get(name))
+            vb = _metric_value(b.metrics.get(name))
+            lines.append(f"{name:<{name_w}}  {_fmt_delta(va, vb)}")
+    return "\n".join(lines)
+
+
+def _metric_value(m: Optional[Mapping[str, Any]]) -> Optional[float]:
+    if m is None:
+        return None
+    if m.get("kind") == "histogram":
+        return float(m.get("total", 0.0))
+    return float(m.get("value", 0.0))

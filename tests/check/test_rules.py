@@ -245,6 +245,57 @@ class TestRep006:
 
 
 # ----------------------------------------------------------------------
+# REP007 — one clock: raw timers/tracemalloc outside repro/obs
+# ----------------------------------------------------------------------
+
+
+class TestRep007:
+    def test_perf_counter_call(self):
+        findings = run("REP007", "import time\nt0 = time.perf_counter()\n")
+        assert [f.code for f in findings] == ["REP007"]
+        assert findings[0].severity is Severity.ERROR
+        assert "perf_counter" in findings[0].message
+
+    def test_perf_counter_ns_call(self):
+        findings = run("REP007", "t0 = time.perf_counter_ns()\n")
+        assert len(findings) == 1
+
+    def test_perf_counter_from_import(self):
+        findings = run("REP007", "from time import perf_counter\n")
+        assert [f.code for f in findings] == ["REP007"]
+
+    def test_tracemalloc_import(self):
+        findings = run("REP007", "import tracemalloc\ntracemalloc.start()\n")
+        assert [f.code for f in findings] == ["REP007"]
+        assert "tracemalloc" in findings[0].message
+
+    def test_tracemalloc_from_import(self):
+        findings = run("REP007", "from tracemalloc import start\n")
+        assert len(findings) == 1
+
+    def test_obs_spans_are_clean(self):
+        src = (
+            "from repro import obs\n"
+            "with obs.span('stage') as sp:\n"
+            "    work()\n"
+            "seconds = sp.seconds\n"
+        )
+        assert run("REP007", src) == []
+
+    def test_other_time_functions_clean(self):
+        assert run("REP007", "import time\ntime.sleep(0.1)\n") == []
+        assert run("REP007", "from time import monotonic\n") == []
+
+    def test_obs_package_exempt(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert run("REP007", src, "src/repro/obs/spans.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "t0 = time.perf_counter()  # repro: noqa[REP007]\n"
+        assert run("REP007", src) == []
+
+
+# ----------------------------------------------------------------------
 # cross-cutting behaviour
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,96 @@
+"""Engine timing is backed by obs spans — stage table stays equivalent.
+
+The engine used to keep its own ``_StageTimer``; ``FillReport.
+stage_seconds`` is now recovered from the ``engine.run`` span tree.
+These tests pin the contract: same six stage keys, consistent totals,
+and the same numbers visible through a recorded trace.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core import DummyFillEngine, FillConfig
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+from repro.obs.record import read_record
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+STAGES = {"analysis", "planning", "candidates", "replanning", "sizing", "insertion"}
+
+
+def demo_layout(num_layers=2, seed=11):
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, 1200, 1200), num_layers=num_layers, rules=RULES)
+    for n in layout.layer_numbers:
+        for _ in range(40):
+            x = rng.randrange(0, 1100)
+            y = rng.randrange(0, 1150)
+            w = rng.randrange(30, 120)
+            h = rng.randrange(15, 40)
+            layout.layer(n).add_wire(Rect(x, y, min(1200, x + w), min(1200, y + h)))
+    return layout, WindowGrid(layout.die, 3, 3)
+
+
+class TestStageSecondsEquivalence:
+    def test_same_keys_as_pre_migration_timer(self):
+        layout, grid = demo_layout()
+        report = DummyFillEngine(FillConfig()).run(layout, grid)
+        assert set(report.stage_seconds) == STAGES
+
+    def test_stages_sum_close_to_total(self):
+        layout, grid = demo_layout()
+        report = DummyFillEngine(FillConfig()).run(layout, grid)
+        staged = sum(report.stage_seconds.values())
+        assert 0.0 < staged <= report.total_seconds
+        # stages cover essentially the whole run (only loop glue outside)
+        assert staged >= 0.5 * report.total_seconds
+
+    def test_report_matches_span_tree(self):
+        layout, grid = demo_layout()
+        tracer = obs.Tracer()
+        restore = obs.set_tracer(tracer)
+        try:
+            report = DummyFillEngine(FillConfig()).run(layout, grid)
+        finally:
+            restore()
+        run = tracer.roots[-1]
+        assert run.name == "engine.run"
+        assert {c.name for c in run.children} == STAGES
+        for child in run.children:
+            assert report.stage_seconds[child.name] == child.seconds
+
+
+class TestRecordedRun:
+    def test_trace_recovers_stage_table(self, tmp_path):
+        layout, grid = demo_layout()
+        path = tmp_path / "trace.jsonl"
+        with obs.record_run(path, label="engine", sample_rss=False):
+            report = DummyFillEngine(FillConfig()).run(layout, grid)
+        record = read_record(path)
+        stages = record.stage_seconds("engine.run")
+        assert set(stages) == STAGES
+        for name, seconds in report.stage_seconds.items():
+            assert stages[name] == pytest.approx(seconds)
+
+    def test_trace_carries_solver_counters(self, tmp_path):
+        layout, grid = demo_layout()
+        path = tmp_path / "trace.jsonl"
+        with obs.record_run(path, label="engine", sample_rss=False):
+            DummyFillEngine(FillConfig()).run(layout, grid)
+        record = read_record(path)
+        assert record.metrics["sizing.lp_solves"]["value"] > 0
+        assert record.metrics["sizing.windows"]["value"] > 0
+        assert record.metrics["sizing.lp.variables"]["count"] > 0
+        run = record.spans[0]
+        assert run["name"] == "engine.run"
+        counters = {}
+        for s in record.spans:
+            for k, v in s.get("counters", {}).items():
+                counters[k] = counters.get(k, 0.0) + v
+        assert counters["engine.fills"] > 0
+        assert counters["engine.candidates"] >= counters["engine.fills"]

@@ -1,0 +1,124 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    """A fresh registry installed for the duration of one test."""
+    reg = MetricsRegistry()
+    restore = obs.set_registry(reg)
+    yield reg
+    restore()
+
+
+class TestCounter:
+    def test_inc_and_default_amount(self, registry):
+        obs.metrics.counter("lp.solves").inc()
+        obs.metrics.counter("lp.solves").inc(4)
+        assert registry.counter("lp.solves").value == 5.0
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            obs.metrics.counter("c").inc(-1)
+
+    def test_kind_conflict(self, registry):
+        obs.metrics.counter("x")
+        with pytest.raises(TypeError):
+            obs.metrics.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = obs.metrics.gauge("td")
+        g.set(0.4)
+        g.add(0.1)
+        assert registry.gauge("td").value == pytest.approx(0.5)
+
+
+class TestHistogramPercentiles:
+    def test_exact_small_sample(self, registry):
+        h = obs.metrics.histogram("vars")
+        for v in [10, 20, 30, 40, 50]:
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == 10 and h.max == 50
+        assert h.mean == pytest.approx(30.0)
+        assert h.percentile(0) == 10
+        assert h.percentile(50) == 30
+        assert h.percentile(100) == 50
+
+    def test_linear_interpolation(self):
+        h = Histogram("h")
+        h.observe(0)
+        h.observe(10)
+        assert h.percentile(25) == pytest.approx(2.5)
+        assert h.percentile(90) == pytest.approx(9.0)
+
+    def test_uniform_large_sample(self):
+        h = Histogram("h")
+        for v in range(1, 1001):
+            h.observe(v)
+        assert h.percentile(50) == pytest.approx(500, rel=0.01)
+        assert h.percentile(90) == pytest.approx(900, rel=0.01)
+        assert h.percentile(99) == pytest.approx(990, rel=0.01)
+
+    def test_downsampling_bounds_memory(self):
+        h = Histogram("h", max_samples=64)
+        for v in range(10_000):
+            h.observe(v)
+        assert h.count == 10_000
+        assert len(h._samples) < 64
+        # exact aggregates survive downsampling
+        assert h.min == 0 and h.max == 9_999
+        assert h.total == pytest.approx(sum(range(10_000)))
+        # percentiles stay representative of the uniform distribution
+        assert h.percentile(50) == pytest.approx(5_000, rel=0.15)
+
+    def test_out_of_range_percentile(self):
+        h = Histogram("h")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0 and d["min"] == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_shape(self, registry):
+        obs.metrics.counter("a").inc(2)
+        obs.metrics.gauge("b").set(1.5)
+        obs.metrics.histogram("c").observe(7)
+        snap = obs.metrics.snapshot()
+        assert snap["a"] == {"kind": "counter", "value": 2.0}
+        assert snap["b"] == {"kind": "gauge", "value": 1.5}
+        assert snap["c"]["kind"] == "histogram"
+        assert snap["c"]["count"] == 1
+        assert set(snap["c"]) >= {"p50", "p90", "p99", "mean", "total"}
+
+    def test_snapshot_sorted(self, registry):
+        obs.metrics.counter("z").inc()
+        obs.metrics.counter("a").inc()
+        assert list(obs.metrics.snapshot()) == ["a", "z"]
+
+    def test_reset(self, registry):
+        obs.metrics.counter("a").inc()
+        registry.reset()
+        assert obs.metrics.snapshot() == {}
+
+    def test_isolated_from_default_registry(self, registry):
+        obs.metrics.counter("only.here").inc()
+        assert "only.here" in registry.snapshot()
+        restore = obs.set_registry(MetricsRegistry())
+        try:
+            assert "only.here" not in obs.metrics.snapshot()
+        finally:
+            restore()

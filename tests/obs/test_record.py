@@ -1,0 +1,176 @@
+"""Run-record round trip: emit → read → summarize → diff."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.record import RecordError, read_record
+from repro.obs.summarize import diff_records, format_record
+
+
+def make_record(tmp_path, name="trace.jsonl", fail=False):
+    path = tmp_path / name
+    try:
+        with obs.record_run(path, label="unit", sample_rss=False) as rec:
+            with obs.span("engine.run"):
+                with obs.span("analysis"):
+                    obs.count("windows", 9)
+                with obs.span("sizing"):
+                    obs.metrics.counter("sizing.lp_solves").inc(3)
+                    obs.metrics.histogram("sizing.lp.variables").observe(120)
+                if fail:
+                    raise RuntimeError("boom")
+    except RuntimeError:
+        if not fail:
+            raise
+    return path, rec
+
+
+class TestEmit:
+    def test_writes_valid_jsonl(self, tmp_path):
+        path, _ = make_record(tmp_path)
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "summary"
+        assert kinds.count("metrics") == 1
+        assert kinds.count("span") == 3
+
+    def test_meta_fields(self, tmp_path):
+        path, _ = make_record(tmp_path)
+        record = read_record(path)
+        assert record.label == "unit"
+        assert "argv" in record.meta and "python" in record.meta
+        assert "git_sha" in record.meta
+
+    def test_recorder_holds_record_in_process(self, tmp_path):
+        _, rec = make_record(tmp_path)
+        assert rec.record is not None
+        assert rec.record.summary["status"] == "ok"
+
+    def test_failed_run_still_emits(self, tmp_path):
+        path, rec = make_record(tmp_path, fail=True)
+        record = read_record(path)
+        assert record.summary["status"] == "error"
+        assert record.summary["error"] == "RuntimeError"
+        root = record.spans[0]
+        assert root["status"] == "error" and root["error"] == "RuntimeError"
+
+    def test_isolates_run_from_default_tracer(self, tmp_path):
+        before = len(obs.active_tracer().roots)
+        make_record(tmp_path)
+        assert len(obs.active_tracer().roots) == before
+
+
+class TestRead:
+    def test_round_trip(self, tmp_path):
+        path, rec = make_record(tmp_path)
+        record = read_record(path)
+        assert record.meta == rec.record.meta
+        assert record.spans == rec.record.spans
+        assert record.metrics == rec.record.metrics
+        assert record.summary == rec.record.summary
+
+    def test_stage_seconds_recovers_children(self, tmp_path):
+        path, _ = make_record(tmp_path)
+        record = read_record(path)
+        stages = record.stage_seconds("engine.run")
+        assert set(stages) == {"analysis", "sizing"}
+        assert all(v >= 0.0 for v in stages.values())
+
+    def test_rejects_bad_json(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(RecordError):
+            read_record(p)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text(
+            json.dumps({"event": "meta", "schema": 99})
+            + "\n"
+            + json.dumps({"event": "summary", "seconds": 0.0})
+            + "\n"
+        )
+        with pytest.raises(RecordError, match="schema"):
+            read_record(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text(json.dumps({"event": "meta", "schema": 1}) + "\n")
+        with pytest.raises(RecordError, match="truncated"):
+            read_record(p)
+
+
+class TestSummarize:
+    def test_format_record_renders_tree(self, tmp_path):
+        path, _ = make_record(tmp_path)
+        text = format_record(read_record(path))
+        assert "run record: unit" in text
+        assert "engine.run" in text
+        assert "  analysis" in text  # indented child
+        assert "windows=9" in text
+        assert "sizing.lp_solves" in text
+
+    def test_error_span_tagged(self, tmp_path):
+        path, _ = make_record(tmp_path, fail=True)
+        text = format_record(read_record(path))
+        assert "!RuntimeError" in text
+
+    def test_diff_two_records(self, tmp_path):
+        pa, _ = make_record(tmp_path, "a.jsonl")
+        pb, _ = make_record(tmp_path, "b.jsonl")
+        text = diff_records(read_record(pa), read_record(pb))
+        assert "total seconds" in text
+        assert "engine.run/analysis" in text
+        assert "sizing.lp_solves" in text
+
+    def test_diff_marks_new_and_gone(self, tmp_path):
+        pa, _ = make_record(tmp_path, "a.jsonl")
+        with obs.record_run(tmp_path / "b.jsonl", label="b", sample_rss=False):
+            with obs.span("other"):
+                pass
+        text = diff_records(read_record(pa), read_record(tmp_path / "b.jsonl"))
+        assert "(gone)" in text and "(new)" in text
+
+
+class TestCli:
+    def test_summarize_command(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        path, _ = make_record(tmp_path)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.run" in out
+
+    def test_diff_command(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        pa, _ = make_record(tmp_path, "a.jsonl")
+        pb, _ = make_record(tmp_path, "b.jsonl")
+        assert main(["diff", str(pa), str(pb)]) == 0
+        assert "total seconds" in capsys.readouterr().out
+
+    def test_malformed_record_exit_2(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        p = tmp_path / "bad.jsonl"
+        p.write_text("garbage\n")
+        assert main(["summarize", str(p)]) == 2
+
+
+class TestMeasure:
+    def test_measure_fills_in_seconds(self):
+        with obs.measure(sample_rss=False) as m:
+            sum(range(1000))
+        assert m.seconds > 0.0
+        assert m.peak_rss_mb == 0.0
+
+    def test_measure_with_rss_sampler(self):
+        with obs.measure(sample_rss=True) as m:
+            data = [0] * 500_000
+        assert m.seconds > 0.0
+        assert m.peak_rss_mb >= 0.0
+        del data

@@ -1,0 +1,164 @@
+"""Tests for the hierarchical span tracer."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh tracer installed for the duration of one test."""
+    t = Tracer()
+    restore = obs.set_tracer(t)
+    yield t
+    restore()
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self, tracer):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner2"):
+                pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == ["inner", "inner2"]
+
+    def test_three_levels_deep(self, tracer):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        walked = [(d, s.name) for d, s in tracer.roots[0].walk()]
+        assert walked == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_siblings_at_root(self, tracer):
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_seconds_accumulate_and_nest(self, tracer):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.seconds >= inner.seconds >= 0.0
+        assert outer.status == "ok"
+
+    def test_current_span(self, tracer):
+        assert obs.current_span() is None
+        with obs.span("x") as sp:
+            assert obs.current_span() is sp
+        assert obs.current_span() is None
+
+
+class TestExceptionTagging:
+    def test_error_status_and_type(self, tracer):
+        with pytest.raises(KeyError):
+            with obs.span("boom") as sp:
+                raise KeyError("nope")
+        assert sp.status == "error"
+        assert sp.error == "KeyError"
+        assert sp.seconds >= 0.0
+
+    def test_stack_unwinds_after_error(self, tracer):
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError
+        assert obs.current_span() is None
+        inner = tracer.roots[0].children[0]
+        assert inner.status == "error"
+        assert tracer.roots[0].status == "error"
+
+    def test_ok_sibling_after_error(self, tracer):
+        with obs.span("outer"):
+            try:
+                with obs.span("bad"):
+                    raise RuntimeError
+            except RuntimeError:
+                pass
+            with obs.span("good"):
+                pass
+        bad, good = tracer.roots[0].children
+        assert bad.status == "error" and good.status == "ok"
+
+
+class TestCountersAndAttrs:
+    def test_count_attaches_to_innermost(self, tracer):
+        with obs.span("outer"):
+            obs.count("windows", 3)
+            with obs.span("inner"):
+                obs.count("windows", 2)
+                obs.count("windows", 2)
+        outer = tracer.roots[0]
+        assert outer.counters == {"windows": 3}
+        assert outer.children[0].counters == {"windows": 4}
+        assert outer.total_counters() == {"windows": 7}
+
+    def test_count_noop_outside_span(self, tracer):
+        obs.count("orphan", 1)  # must not raise
+        assert tracer.roots == []
+
+    def test_annotate(self, tracer):
+        with obs.span("run", solver="ssp") as sp:
+            obs.annotate(benchmark="b1")
+        assert sp.attrs == {"solver": "ssp", "benchmark": "b1"}
+
+
+class TestDecorator:
+    def test_named_decorator(self, tracer):
+        @obs.span("work")
+        def work(x):
+            return x * 2
+
+        assert work(4) == 8
+        assert work(1) == 2
+        assert [r.name for r in tracer.roots] == ["work", "work"]
+
+    def test_default_name_is_qualname(self, tracer):
+        @obs.span()
+        def helper():
+            return 1
+
+        helper()
+        assert tracer.roots[0].name.endswith("helper")
+
+    def test_decorator_tags_exceptions(self, tracer):
+        @obs.span("explode")
+        def explode():
+            raise OSError
+
+        with pytest.raises(OSError):
+            explode()
+        assert tracer.roots[0].error == "OSError"
+
+
+class TestTracerBehaviour:
+    def test_unnamed_context_manager_rejected(self, tracer):
+        with pytest.raises(ValueError):
+            with obs.span():
+                pass
+
+    def test_max_roots_bounds_history(self):
+        t = Tracer(max_roots=3)
+        restore = obs.set_tracer(t)
+        try:
+            for k in range(5):
+                with obs.span(f"s{k}"):
+                    pass
+        finally:
+            restore()
+        assert [r.name for r in t.roots] == ["s2", "s3", "s4"]
+
+    def test_as_dict_shape(self, tracer):
+        with obs.span("s") as sp:
+            obs.count("n", 1)
+        d = sp.as_dict(depth=2)
+        assert d["name"] == "s"
+        assert d["depth"] == 2
+        assert d["status"] == "ok"
+        assert d["counters"] == {"n": 1}
+        assert "error" not in d

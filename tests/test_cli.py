@@ -112,3 +112,76 @@ class TestScoreAndDrc:
         capsys.readouterr()
         assert main(["drc", str(out_path)]) == 0
         assert "0 violations" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["fill", "a.gds", "b.gds"])
+        assert args.trace_out is None
+        assert args.log_level == "warning"
+        args = build_parser().parse_args(
+            ["score", "a.gds", "--log-level", "debug"]
+        )
+        assert args.log_level == "debug"
+
+    def test_fill_trace_out_writes_run_record(self, demo_gds, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "filled.gds"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "fill",
+                str(demo_gds),
+                str(out_path),
+                "--windows",
+                "4",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote run record" in capsys.readouterr().out
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "meta" and kinds[-1] == "summary"
+        span_names = {e["name"] for e in events if e["event"] == "span"}
+        assert {"io.read", "engine.run", "drc", "io.write"} <= span_names
+        # the record parses through the reader and carries the stage table
+        from repro.obs import read_record
+
+        record = read_record(trace_path)
+        assert record.label == "repro fill"
+        assert set(record.stage_seconds("engine.run")) == {
+            "analysis",
+            "planning",
+            "candidates",
+            "replanning",
+            "sizing",
+            "insertion",
+        }
+        assert record.metrics["sizing.lp_solves"]["value"] > 0
+
+    def test_trace_summarize_subcommand(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        trace_path = tmp_path / "trace.jsonl"
+        main(
+            [
+                "fill",
+                str(demo_gds),
+                str(out_path),
+                "--windows",
+                "4",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run record: repro fill" in out
+        assert "engine.run" in out
