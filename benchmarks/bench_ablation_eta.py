@@ -11,6 +11,7 @@ monotonically as η grows.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.density import measure_raw_components
 
@@ -38,18 +39,28 @@ def test_eta_sweep(benchmark, benchmarks_cache, eta):
 def test_eta_report(benchmark, benchmarks_cache, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     bench = benchmarks_cache("s")
-    lines = [f"{'eta':>6}{'sigma_sum':>12}{'line_sum':>12}{'overlay':>14}"]
+    table = TableArtifact(
+        "ablation_eta",
+        [
+            Column("eta", ">6.2f"),
+            Column("sigma_sum", ">12.4f"),
+            Column("line_sum", ">12.3f"),
+            Column("overlay", ">14.0f"),
+        ],
+    )
     for eta in _ETAS:
         raw = _rows[eta]
-        lines.append(
-            f"{eta:>6.2f}{raw.variation:>12.4f}{raw.line:>12.3f}"
-            f"{raw.overlay:>14.0f}"
+        table.add_row(
+            eta=eta,
+            sigma_sum=raw.variation,
+            line_sum=raw.line,
+            overlay=raw.overlay,
         )
-    lines.append(
+    table.note(
         f"(overlay beta = {bench.weights.beta_overlay:.0f}; the sweep "
         "shows the density/overlay trade-off the sizing objective prices)"
     )
-    emit(results_dir, "ablation_eta", "\n".join(lines))
+    emit(results_dir, table)
     # Trade-off direction: more eta -> less overlay, more variation.
     assert _rows[1.0].overlay <= _rows[0.0].overlay
     assert _rows[1.0].variation >= _rows[0.0].variation - 1e-9

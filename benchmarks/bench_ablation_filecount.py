@@ -11,6 +11,7 @@ import pytest
 from conftest import emit
 
 from repro.baselines import greedy_fill, tile_lp_fill
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.gdsii import measure_file_size
 
@@ -52,15 +53,22 @@ def test_filecount(benchmark, benchmarks_cache, filler):
 
 def test_filecount_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [f"{'filler':<10}{'#fills':>9}{'GDSII bytes':>13}"]
+    table = TableArtifact(
+        "ablation_filecount",
+        [
+            Column("filler", "<10"),
+            Column("num_fills", ">9d", "#fills"),
+            Column("gds_bytes", ">13d", "GDSII bytes"),
+        ],
+    )
     for filler in _FILLERS:
         fills, size = _rows[filler]
-        lines.append(f"{filler:<10}{fills:>9}{size:>13}")
+        table.add_row(filler=filler, num_fills=fills, gds_bytes=size)
     ours_fills = _rows["ours"][0]
     tile_fills = _rows["tile-lp"][0]
-    lines.append(
-        f"\ntile-LP emits {tile_fills / ours_fills:.1f}x more fills than the "
+    table.note(
+        f"tile-LP emits {tile_fills / ours_fills:.1f}x more fills than the "
         "geometric engine (the paper's storage argument, §1)"
     )
-    emit(results_dir, "ablation_filecount", "\n".join(lines))
+    emit(results_dir, table)
     assert tile_fills > 2 * ours_fills

@@ -13,6 +13,7 @@ import pytest
 from conftest import emit
 
 from repro.baselines import tile_lp_fill
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.gdsii import gdsii_bytes
 from repro.oasis import layout_from_oasis, oasis_bytes
@@ -50,16 +51,27 @@ def test_fileformat(benchmark, benchmarks_cache, filler):
 
 def test_fileformat_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [
-        f"{'filler':<10}{'#fills':>8}{'GDSII':>10}{'OASIS':>10}{'ratio':>8}"
-    ]
+    table = TableArtifact(
+        "ablation_fileformat",
+        [
+            Column("filler", "<10"),
+            Column("num_fills", ">8d", "#fills"),
+            Column("gds_bytes", ">10d", "GDSII"),
+            Column("oas_bytes", ">10d", "OASIS"),
+            Column("ratio", ">8.1f"),
+        ],
+    )
     for filler, (fills, gds, oas) in _rows.items():
-        lines.append(
-            f"{filler:<10}{fills:>8}{gds:>10}{oas:>10}{gds / oas:>8.1f}x"
+        table.add_row(
+            filler=filler,
+            num_fills=fills,
+            gds_bytes=gds,
+            oas_bytes=oas,
+            ratio=gds / oas,
         )
-    lines.append(
-        "\nOASIS shrinks the same solution several-fold (modal variables +"
+    table.note(
+        "OASIS shrinks the same solution several-fold (modal variables +"
         "\nrow repetitions), but volume still scales with fill count —"
         "\nthe paper's case for fewer, larger fills stands in either format."
     )
-    emit(results_dir, "ablation_fileformat", "\n".join(lines))
+    emit(results_dir, table)

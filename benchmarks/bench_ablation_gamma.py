@@ -9,6 +9,7 @@ candidate-stage overlay and the mean candidate size on benchmark ``s``.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import FillConfig
 from repro.core.candidates import generate_candidates
 from repro.core.planner import plan_targets, PlannerObjective
@@ -56,11 +57,21 @@ def test_gamma_sweep(benchmark, benchmarks_cache, gamma):
 
 def test_gamma_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [f"{'gamma':>7}{'cand overlay':>14}{'#cands':>8}{'mean area':>11}"]
+    table = TableArtifact(
+        "ablation_gamma",
+        [
+            Column("gamma", ">7.1f"),
+            Column("cand_overlay", ">14d", "cand overlay"),
+            Column("num_cands", ">8d", "#cands"),
+            Column("mean_area", ">11d", "mean area"),
+        ],
+    )
     for gamma in _GAMMAS:
         overlay, count, mean_area = _rows[gamma]
-        lines.append(f"{gamma:>7.1f}{overlay:>14}{count:>8}{mean_area:>11}")
-    lines.append(
+        table.add_row(
+            gamma=gamma, cand_overlay=overlay, num_cands=count, mean_area=mean_area
+        )
+    table.note(
         "(gamma=1 is the paper's setting: 'we set it to 1 in the experiment')"
     )
-    emit(results_dir, "ablation_gamma", "\n".join(lines))
+    emit(results_dir, table)

@@ -12,6 +12,7 @@ runtime tax — which is why the engine defaults to 3.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.density import measure_raw_components
 
@@ -38,19 +39,29 @@ def test_iterations_sweep(benchmark, benchmarks_cache, iters):
 
 def test_iterations_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [
-        f"{'rounds':>7}{'sigma_sum':>12}{'overlay':>12}{'sizing s':>10}{'#fills':>8}"
-    ]
+    table = TableArtifact(
+        "ablation_iterations",
+        [
+            Column("rounds", ">7d"),
+            Column("sigma_sum", ">12.4f"),
+            Column("overlay", ">12.0f"),
+            Column("sizing_s", ">10.2f", "sizing s"),
+            Column("num_fills", ">8d", "#fills"),
+        ],
+    )
     for iters in _ITERS:
         raw, secs, fills = _rows[iters]
-        lines.append(
-            f"{iters:>7}{raw.variation:>12.4f}{raw.overlay:>12.0f}"
-            f"{secs:>10.2f}{fills:>8}"
+        table.add_row(
+            rounds=iters,
+            sigma_sum=raw.variation,
+            overlay=raw.overlay,
+            sizing_s=secs,
+            num_fills=fills,
         )
-    lines.append(
+    table.note(
         "(0 rounds = raw candidates: over-target density, no DRC repair "
         "pressure applied through the LP)"
     )
-    emit(results_dir, "ablation_iterations", "\n".join(lines))
+    emit(results_dir, table)
     # Convergence: density gap must not get worse after round 1.
     assert _rows[3][0].variation <= _rows[0][0].variation + 1e-9

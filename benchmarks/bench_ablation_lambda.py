@@ -10,6 +10,7 @@ large λ only adds fills (file size) without density benefit.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.density import measure_raw_components
 
@@ -38,17 +39,28 @@ def test_lambda_report(benchmark, benchmarks_cache, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     bench = benchmarks_cache("s")
     beta = bench.weights.beta_variation
-    lines = [
-        f"{'lambda':>8}{'sigma_sum':>12}{'line_sum':>12}{'overlay':>12}"
-        f"{'#cand':>8}{'#fills':>8}"
-    ]
+    table = TableArtifact(
+        "ablation_lambda",
+        [
+            Column("lam", ">8.2f", "lambda"),
+            Column("sigma_sum", ">12.4f"),
+            Column("line_sum", ">12.3f"),
+            Column("overlay", ">12.0f"),
+            Column("num_cands", ">8d", "#cand"),
+            Column("num_fills", ">8d", "#fills"),
+        ],
+    )
     for lam in _LAMBDAS:
         raw, n_cand, n_fills = _rows[lam]
-        lines.append(
-            f"{lam:>8.2f}{raw.variation:>12.4f}{raw.line:>12.3f}"
-            f"{raw.overlay:>12.0f}{n_cand:>8}{n_fills:>8}"
+        table.add_row(
+            lam=lam,
+            sigma_sum=raw.variation,
+            line_sum=raw.line,
+            overlay=raw.overlay,
+            num_cands=n_cand,
+            num_fills=n_fills,
         )
-    lines.append(f"(unfilled sigma_sum = {beta:.4f})")
-    emit(results_dir, "ablation_lambda", "\n".join(lines))
+    table.note(f"(unfilled sigma_sum = {beta:.4f})")
+    emit(results_dir, table)
     # λ over-generation must not hurt density vs exactly-at-target.
     assert _rows[1.1][0].variation <= _rows[1.0][0].variation * 1.5

@@ -10,6 +10,7 @@ underestimates the worst phase, before and after fill.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.density import MultiWindowGrid, multiwindow_metrics
 
@@ -43,12 +44,25 @@ def test_multiwindow_audit(benchmark, benchmarks_cache, filled):
 
 def test_multiwindow_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [f"{'state':<10}{'base sigma':>12}{'worst-phase':>13}{'underest.':>11}"]
+    table = TableArtifact(
+        "ablation_multiwindow",
+        [
+            Column("state", "<10"),
+            Column("base_sigma", ">12.4f", "base sigma"),
+            Column("worst_sigma", ">13.4f", "worst-phase"),
+            Column("underestimate_pct", ">11.1f", "underest.%"),
+        ],
+    )
     for filled, label in ((False, "unfilled"), (True, "filled")):
         base, worst = _rows[filled]
         under = 0.0 if worst == 0 else (1 - base / worst) * 100
-        lines.append(f"{label:<10}{base:>12.4f}{worst:>13.4f}{under:>10.1f}%")
-    lines.append(
+        table.add_row(
+            state=label,
+            base_sigma=base,
+            worst_sigma=worst,
+            underestimate_pct=under,
+        )
+    table.note(
         "(sliding-window analysis per Kahng et al. [3]; r=2 phases per axis)"
     )
-    emit(results_dir, "ablation_multiwindow", "\n".join(lines))
+    emit(results_dir, table)

@@ -16,11 +16,11 @@ All backends are asserted to return the same optimum.
 """
 
 import random
-import time
 
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.netflow import DifferentialLP, solve_dual_mcf, solve_linprog
 
@@ -53,18 +53,13 @@ _SOLVE = {
     "scipy": solve_linprog,
 }
 
-_timings = {}
-
-
 @pytest.mark.parametrize("backend", list(_SOLVE))
 @pytest.mark.parametrize("size", [100, 400])
 def test_sizing_lp_backend(benchmark, backend, size):
     lp = windows_lp(size)
     reference = solve_linprog(lp).objective
     solve = _SOLVE[backend]
-    start = time.perf_counter()
     sol = benchmark(lambda: solve(lp))
-    _timings[(backend, size)] = time.perf_counter() - start
     assert sol.objective == reference
 
 
@@ -102,13 +97,17 @@ def test_engine_backend(benchmark, benchmarks_cache, solver):
 
 def test_solver_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = ["engine sizing-stage seconds on benchmark s, by LP backend:"]
+    table = TableArtifact(
+        "ablation_solver",
+        [Column("solver", "<14"), Column("sizing_s", ">10.2f", "sizing s")],
+    )
     for solver, secs in _engine_secs.items():
-        lines.append(f"  {solver:<12} {secs:8.2f}s")
+        table.add_row(solver=solver, sizing_s=secs)
+    table.note("engine sizing-stage seconds on benchmark s, by LP backend")
     if "mcf-ssp" in _engine_secs and "lp" in _engine_secs:
         ratio = _engine_secs["lp"] / max(_engine_secs["mcf-ssp"], 1e-9)
-        lines.append(
-            f"  dual-MCF (ssp) speedup over general LP: {ratio:.2f}x "
+        table.note(
+            f"dual-MCF (ssp) speedup over general LP: {ratio:.2f}x "
             "(paper §3.3.3 claims dual MCF is the faster path)"
         )
-    emit(results_dir, "ablation_solver", "\n".join(lines))
+    emit(results_dir, table)

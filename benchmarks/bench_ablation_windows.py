@@ -10,6 +10,7 @@ more variation and cost more sizing LPs.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import DummyFillEngine, FillConfig
 from repro.density import measure_raw_components
 from repro.layout import WindowGrid
@@ -38,14 +39,25 @@ def test_window_sweep(benchmark, benchmarks_cache, n):
 
 def test_window_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [
-        f"{'grid':>8}{'sigma_sum':>12}{'line_sum':>12}{'overlay':>12}"
-        f"{'#fills':>8}{'seconds':>9}"
-    ]
+    table = TableArtifact(
+        "ablation_windows",
+        [
+            Column("grid", ">8"),
+            Column("sigma_sum", ">12.4f"),
+            Column("line_sum", ">12.3f"),
+            Column("overlay", ">12.0f"),
+            Column("num_fills", ">8d", "#fills"),
+            Column("seconds", ">9.2f"),
+        ],
+    )
     for n in _GRIDS:
         raw, fills, secs = _rows[n]
-        lines.append(
-            f"{n:>4}x{n:<3}{raw.variation:>12.4f}{raw.line:>12.3f}"
-            f"{raw.overlay:>12.0f}{fills:>8}{secs:>9.2f}"
+        table.add_row(
+            grid=f"{n}x{n}",
+            sigma_sum=raw.variation,
+            line_sum=raw.line,
+            overlay=raw.overlay,
+            num_fills=fills,
+            seconds=secs,
         )
-    emit(results_dir, "ablation_windows", "\n".join(lines))
+    emit(results_dir, table)

@@ -14,6 +14,7 @@ records the achieved overlay for both cases.
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.core import FillConfig
 from repro.core.candidates import generate_candidates
 from repro.core.planner import plan_targets
@@ -94,13 +95,25 @@ def test_fig5_bounded_overlay(benchmark):
 
 def test_fig45_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = []
+    table = TableArtifact(
+        "fig4_fig5",
+        [
+            Column("case", "<6"),
+            Column("area_l1", ">10d", "L1 area"),
+            Column("area_l2", ">10d", "L2 area"),
+            Column("fill_fill", ">11d", "fill-fill"),
+            Column("fill_wire", ">11d", "fill-wire"),
+        ],
+    )
     for case in ("fig4", "fig5"):
         fill_fill, fill_wire, areas = _run_case(case)
-        lines.append(
-            f"{case}: fill areas L1={areas[1]} L2={areas[2]}, "
-            f"fill-fill overlay={fill_fill}, fill-wire overlay={fill_wire}"
+        table.add_row(
+            case=case,
+            area_l1=areas[1],
+            area_l2=areas[2],
+            fill_fill=fill_fill,
+            fill_wire=fill_wire,
         )
-    lines.append("paper: Fig. 4 case admits a zero-overlay arrangement;")
-    lines.append("       Fig. 5 case accepts small overlay for density.")
-    emit(results_dir, "fig4_fig5", "\n".join(lines))
+    table.note("paper: Fig. 4 case admits a zero-overlay arrangement;")
+    table.note("       Fig. 5 case accepts small overlay for density.")
+    emit(results_dir, table)

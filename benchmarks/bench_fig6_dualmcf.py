@@ -15,6 +15,7 @@ import random
 import pytest
 from conftest import emit
 
+from repro.bench import Column, TableArtifact
 from repro.netflow import (
     DifferentialLP,
     solve_dual_mcf,
@@ -73,12 +74,27 @@ def test_fig6_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     sol = solve_dual_mcf(fig6_lp(), "ssp")
     net = fig6_lp().to_flow_network()
-    lines = [
-        "Fig. 6 instance: min x1+2x2+3x3+4x4, x1-x2>=5, x4-x3>=6, x in [0,10]",
-        f"  flow network: {net.num_nodes} nodes, {net.num_arcs} arcs, "
-        f"supplies {net.supplies}",
-        f"  solution x = {sol.x}   (paper: [5, 0, 0, 6])",
-        f"  objective  = {sol.objective}  (paper: 29; flow cost {sol.flow_cost})",
-    ]
-    emit(results_dir, "fig6", "\n".join(lines))
+    table = TableArtifact(
+        "fig6",
+        [
+            Column("nodes", ">6d"),
+            Column("arcs", ">6d"),
+            Column("x", ">14"),
+            Column("objective", ">10d"),
+            Column("flow_cost", ">10d"),
+        ],
+    )
+    table.add_row(
+        nodes=net.num_nodes,
+        arcs=net.num_arcs,
+        x=str(sol.x),
+        objective=sol.objective,
+        flow_cost=sol.flow_cost,
+    )
+    table.note(
+        "Fig. 6 instance: min x1+2x2+3x3+4x4, x1-x2>=5, x4-x3>=6, x in [0,10]"
+    )
+    table.note(f"flow network supplies: {net.supplies}")
+    table.note("paper: x = [5, 0, 0, 6], objective 29")
+    emit(results_dir, table)
     assert sol.x == [5, 0, 0, 6]

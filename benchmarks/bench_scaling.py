@@ -9,12 +9,12 @@ our engine overtakes both baselines as the layout grows — mirrors the
 runtime relationships measured on the full suite (EXPERIMENTS.md).
 """
 
-import time
-
 import pytest
 from conftest import QUICK, emit
 
+from repro import obs
 from repro.baselines import monte_carlo_fill, tile_lp_fill
+from repro.bench import Column, TableArtifact
 from repro.bench.generator import LayoutSpec, generate_layout
 from repro.core import DummyFillEngine, FillConfig
 from repro.layout import DrcRules, WindowGrid
@@ -47,14 +47,14 @@ def _layout_for(size):
 
 def _run(filler, size):
     layout, grid = _layout_for(size)
-    start = time.perf_counter()
-    if filler == "ours":
-        DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
-    elif filler == "tile-lp":
-        tile_lp_fill(layout, grid, r=4)
-    else:
-        monte_carlo_fill(layout, grid)
-    secs = time.perf_counter() - start
+    with obs.measure(sample_rss=False) as measured:
+        if filler == "ours":
+            DummyFillEngine(FillConfig(eta=0.2)).run(layout, grid)
+        elif filler == "tile-lp":
+            tile_lp_fill(layout, grid, r=4)
+        else:
+            monte_carlo_fill(layout, grid)
+    secs = measured.seconds
     _rows[(filler, size)] = (secs, layout.num_fills)
     return secs
 
@@ -68,21 +68,33 @@ def test_scaling(benchmark, filler, size):
 
 def test_scaling_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [f"{'die':>7}{'windows':>9}" + "".join(f"{f:>12}" for f in ("ours", "tile-lp", "mc"))]
+    table = TableArtifact(
+        "scaling",
+        [
+            Column("die", ">7d"),
+            Column("windows", ">9"),
+            Column("ours_s", ">12.1f", "ours"),
+            Column("tile_lp_s", ">12.1f", "tile-lp"),
+            Column("mc_s", ">12.1f", "mc"),
+        ],
+    )
     for size in _SIZES:
-        cells = "".join(
-            f"{_rows[(f, size)][0]:>11.1f}s" for f in ("ours", "tile-lp", "mc")
-        )
         n = size // 500
-        lines.append(f"{size:>7}{f'{n}x{n}':>9}{cells}")
+        table.add_row(
+            die=size,
+            windows=f"{n}x{n}",
+            ours_s=_rows[("ours", size)][0],
+            tile_lp_s=_rows[("tile-lp", size)][0],
+            mc_s=_rows[("mc", size)][0],
+        )
     largest = _SIZES[-1]
     ours = _rows[("ours", largest)][0]
-    lines.append(
-        f"\nat die {largest}: ours {ours:.1f}s vs "
+    table.note(
+        f"at die {largest}: ours {ours:.1f}s vs "
         f"tile-LP {_rows[('tile-lp', largest)][0]:.1f}s, "
         f"MC {_rows[('mc', largest)][0]:.1f}s"
     )
-    emit(results_dir, "scaling", "\n".join(lines))
+    emit(results_dir, table)
     # The headline shape: the geometric engine is not the slowest at scale.
     assert ours <= max(
         _rows[("tile-lp", largest)][0], _rows[("mc", largest)][0]

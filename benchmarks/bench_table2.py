@@ -9,13 +9,21 @@ quantity.
 
 from conftest import QUICK, emit
 
-from repro.bench import SUITE_SPECS, load_benchmark
+from repro.bench import SUITE_SPECS, Column, TableArtifact, load_benchmark
 
-_HEADER = (
-    f"{'Design':<8}{'#Wires':>8}{'#L':>4}{'File size':>12}"
-    f"{'ov beta':>14}{'var beta':>10}{'line beta':>10}{'outl beta':>10}"
-    f"{'size beta':>10}{'rt beta':>9}{'mem beta':>9}"
-)
+_COLUMNS = [
+    Column("design", "<8", "Design"),
+    Column("num_wires", ">8d", "#Wires"),
+    Column("num_layers", ">4d", "#L"),
+    Column("file_size_mb", ">12.3f", "File MB"),
+    Column("beta_overlay", ">14.3e", "ov beta"),
+    Column("beta_variation", ">10.4f", "var beta"),
+    Column("beta_line", ">10.3f", "line beta"),
+    Column("beta_outlier", ">10.4f", "outl beta"),
+    Column("beta_size", ">10.4f", "size beta"),
+    Column("beta_runtime", ">9.0f", "rt beta"),
+    Column("beta_memory", ">9.0f", "mem beta"),
+]
 
 _rows = {}
 
@@ -23,14 +31,19 @@ _rows = {}
 def _load_and_row(name):
     bench = load_benchmark(name)
     w = bench.weights
-    row = (
-        f"{name:<8}{bench.num_wires:>8}{bench.layout.num_layers:>4}"
-        f"{bench.input_size_mb:>10.3f}MB"
-        f"{w.beta_overlay:>14.3e}{w.beta_variation:>10.4f}"
-        f"{w.beta_line:>10.3f}{w.beta_outlier:>10.4f}"
-        f"{w.beta_size:>10.4f}{w.beta_runtime:>9.0f}{w.beta_memory:>9.0f}"
-    )
-    _rows[name] = row
+    _rows[name] = {
+        "design": name,
+        "num_wires": bench.num_wires,
+        "num_layers": bench.layout.num_layers,
+        "file_size_mb": bench.input_size_mb,
+        "beta_overlay": w.beta_overlay,
+        "beta_variation": w.beta_variation,
+        "beta_line": w.beta_line,
+        "beta_outlier": w.beta_outlier,
+        "beta_size": w.beta_size,
+        "beta_runtime": w.beta_runtime,
+        "beta_memory": w.beta_memory,
+    }
     return bench
 
 
@@ -52,11 +65,13 @@ def test_table2_generate_m(benchmark, results_dir):
         assert bench.num_wires > 0
     else:
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    lines = [_HEADER, "-" * len(_HEADER)]
-    lines += [_rows[k] for k in SUITE_SPECS if k in _rows]
-    lines.append(
-        "\nalpha weights (all benchmarks, as in the contest): "
+    table = TableArtifact("table2", _COLUMNS)
+    for k in SUITE_SPECS:
+        if k in _rows:
+            table.add_row(**_rows[k])
+    table.note(
+        "alpha weights (all benchmarks, as in the contest): "
         "overlay 0.2, variation 0.2, line 0.2, outlier 0.15, "
         "size 0.05, runtime 0.15, memory 0.05"
     )
-    emit(results_dir, "table2", "\n".join(lines))
+    emit(results_dir, table)

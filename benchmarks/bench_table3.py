@@ -17,10 +17,19 @@ baselines on ``m``).
 import pytest
 from conftest import QUICK, emit
 
-from repro.bench import TEAMS, format_table, headline, run_team
+from repro.bench import TEAMS, Column, TableArtifact, headline, run_team
 
 _BENCHES = ["s", "b"] if QUICK else ["s", "b", "m"]
 _results = {}
+
+_COLUMNS = [Column("design", "<8", "Design"), Column("team", "<12", "Team")] + [
+    Column(c, ">11.3f", c.capitalize() + "*")
+    for c in ("overlay", "variation", "line", "outlier", "size", "runtime", "memory")
+] + [
+    Column("quality", ">11.3f", "Quality"),
+    Column("score", ">11.3f", "Score"),
+    Column("num_fills", ">9d", "#Fills"),
+]
 
 
 def _run(bench_loader, bench_name, team):
@@ -43,13 +52,21 @@ def test_table3_run(benchmark, benchmarks_cache, bench_name, team):
 def test_table3_report(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     assert _results, "run the table3 matrix first"
-    table = format_table(_results)
+    table = TableArtifact("table3", _COLUMNS)
+    for bench_name, teams in _results.items():
+        for team, entry in teams.items():
+            table.add_row(
+                design=bench_name,
+                team=team,
+                num_fills=entry.num_fills,
+                **{k: round(v, 6) for k, v in entry.row().items()},
+            )
     q_gain, s_gain = headline(_results)
-    summary = (
-        f"\nheadline: ours vs best baseline: quality {q_gain * 100:+.1f}%, "
+    table.note(
+        f"headline: ours vs best baseline: quality {q_gain * 100:+.1f}%, "
         f"score {s_gain * 100:+.1f}%   (paper Table 3: +13%, +10%)"
     )
-    emit(results_dir, "table3", table + summary)
+    emit(results_dir, table)
     # Shape assertions (the paper's claims, not its absolute numbers):
     for bench_name, teams in _results.items():
         ours = teams["ours"]

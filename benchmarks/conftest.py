@@ -50,8 +50,15 @@ def benchmarks_cache():
     return load
 
 
-def emit(results_dir: Path, name: str, text: str) -> None:
-    """Print a reproduced table and persist it under results/."""
-    banner = f"\n===== {name} =====\n"
-    print(banner + text)
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+def emit(results_dir: Path, table) -> None:
+    """Print and persist a reproduced table (a bench TableArtifact).
+
+    Writes two renderings of the *same* record: ``<name>.txt`` is
+    ``table.render()`` and ``BENCH_<name>.json`` is ``table.to_dict()``
+    with the git sha stamped in — the machine-readable trajectory entry
+    the tracker and CI consume.
+    """
+    text = table.render()
+    print(f"\n===== {table.name} =====\n" + text)
+    (results_dir / f"{table.name}.txt").write_text(text + "\n")
+    table.write(results_dir)

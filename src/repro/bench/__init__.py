@@ -1,4 +1,4 @@
-"""Benchmark generation, the scaled s/b/m suite, and the contest harness."""
+"""Benchmark generation, the scaled s/b/m suite, contest harness, tracker."""
 
 from .contest import (
     TEAMS,
@@ -16,6 +16,22 @@ from .suite import (
     calibrate_weights,
     load_benchmark,
 )
+from .tracker import (
+    BENCH_SETS,
+    BenchRecord,
+    Column,
+    GateResult,
+    MetricDelta,
+    TableArtifact,
+    TrajectoryError,
+    append_record,
+    bench_set_names,
+    format_gate,
+    gate_records,
+    load_trajectory,
+    run_benchmark,
+    trajectory_path,
+)
 
 __all__ = [
     "TEAMS",
@@ -31,4 +47,18 @@ __all__ = [
     "benchmark_names",
     "calibrate_weights",
     "load_benchmark",
+    "BENCH_SETS",
+    "BenchRecord",
+    "Column",
+    "GateResult",
+    "MetricDelta",
+    "TableArtifact",
+    "TrajectoryError",
+    "append_record",
+    "bench_set_names",
+    "format_gate",
+    "gate_records",
+    "load_trajectory",
+    "run_benchmark",
+    "trajectory_path",
 ]

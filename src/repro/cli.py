@@ -9,12 +9,15 @@ this CLI exposes the same workflow:
 * ``score``    — score a filled GDSII against contest-style weights,
 * ``drc``      — check the fills of a GDSII for rule violations,
 * ``trace``    — render/diff run records written by ``--trace-out``
-  (forwards to ``python -m repro.obs``).
+  (forwards to ``python -m repro.obs``),
+* ``bench``    — record and gate benchmark score/perf trajectories
+  (forwards to ``python -m repro.bench``).
 
 Every command reads and writes real GDSII byte streams, so the CLI
-composes with any external layout tooling.  ``fill`` and ``score``
-accept ``--trace-out PATH`` to write a :mod:`repro.obs` run record
-(JSONL) of the command, and ``--log-level`` to tune logging.
+composes with any external layout tooling.  ``generate``, ``fill``,
+``score`` and ``drc`` accept ``--trace-out PATH`` to write a
+:mod:`repro.obs` run record (JSONL) of the command, and
+``--log-level`` to tune logging.
 """
 
 from __future__ import annotations
@@ -103,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=2014)
     gen.add_argument("--wires", type=int, default=450, help="cell rects per layer")
     _add_rules_args(gen)
+    _add_obs_args(gen)
 
     info = sub.add_parser("info", help="inspect a GDSII layout")
     info.add_argument("input", type=Path)
@@ -144,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     drc = sub.add_parser("drc", help="check fills against the rule deck")
     drc.add_argument("input", type=Path)
     _add_rules_args(drc)
+    _add_obs_args(drc)
 
     trace = sub.add_parser(
         "trace",
@@ -156,25 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to `python -m repro.obs`",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="record/gate benchmark trajectories (see `repro bench --help`)",
+        add_help=False,
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.bench`",
+    )
+
     return parser
 
 
 # ----------------------------------------------------------------------
 def _cmd_generate(args: argparse.Namespace) -> int:
-    spec = LayoutSpec(
-        name=args.output.stem,
-        die_size=args.die,
-        num_layers=args.layers,
-        seed=args.seed,
-        num_cell_rects=args.wires,
-        rules=_rules_from(args),
-    )
-    layout = generate_layout(spec)
-    args.output.write_bytes(gdsii_bytes(layout))
-    print(
-        f"wrote {args.output}: {layout.num_wires} wires on "
-        f"{layout.num_layers} layers, {args.output.stat().st_size} bytes"
-    )
+    with _observed(args, label="repro generate"):
+        spec = LayoutSpec(
+            name=args.output.stem,
+            die_size=args.die,
+            num_layers=args.layers,
+            seed=args.seed,
+            num_cell_rects=args.wires,
+            rules=_rules_from(args),
+        )
+        with obs.span("generate"):
+            layout = generate_layout(spec)
+        with obs.span("io.write"):
+            args.output.write_bytes(gdsii_bytes(layout))
+        print(
+            f"wrote {args.output}: {layout.num_wires} wires on "
+            f"{layout.num_layers} layers, {args.output.stat().st_size} bytes"
+        )
     return 0
 
 
@@ -246,11 +265,14 @@ def _cmd_score(args: argparse.Namespace) -> int:
 
 
 def _cmd_drc(args: argparse.Namespace) -> int:
-    layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
-    violations = layout.check_drc()
-    for v in violations[:50]:
-        print(f"  {v}")
-    print(f"{len(violations)} violations")
+    with _observed(args, label="repro drc"):
+        with obs.span("io.read"):
+            layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+        with obs.span("drc"):
+            violations = layout.check_drc()
+        for v in violations[:50]:
+            print(f"  {v}")
+        print(f"{len(violations)} violations")
     return 0 if not violations else 2
 
 
@@ -260,6 +282,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return obs_main(args.trace_args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.cli import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -267,6 +295,7 @@ _COMMANDS = {
     "score": _cmd_score,
     "drc": _cmd_drc,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

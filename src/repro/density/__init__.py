@@ -9,6 +9,7 @@ from .analysis import (
     fill_overlay_area,
     metal_density_map,
     overlay_area,
+    overlay_map,
     usable_fill_area,
     wire_density_map,
 )
@@ -31,6 +32,7 @@ from .scoring import (
     component_score,
     measure_raw_components,
     score_layout,
+    worst_windows,
 )
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "fill_overlay_area",
     "metal_density_map",
     "overlay_area",
+    "overlay_map",
     "usable_fill_area",
     "wire_density_map",
     "DensityMetrics",
@@ -58,4 +61,5 @@ __all__ = [
     "component_score",
     "measure_raw_components",
     "score_layout",
+    "worst_windows",
 ]

@@ -24,12 +24,12 @@ the two right-most columns of Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..layout import Layout, WindowGrid
-from .analysis import fill_overlay_area, metal_density_map
+from .analysis import fill_overlay_area, metal_density_map, overlay_map
 from .metrics import compute_metrics
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "component_score",
     "measure_raw_components",
     "score_layout",
+    "worst_windows",
 ]
 
 
@@ -176,6 +177,65 @@ def measure_raw_components(layout: Layout, grid: WindowGrid) -> RawComponents:
         # Eqn. (3): s_oh = f_oh( Σσ(l) · Σoh(l) )
         outlier=sigma_sum * outlier_sum,
     )
+
+
+def worst_windows(
+    layout: Layout, grid: WindowGrid, k: int = 5
+) -> Dict[str, List[Dict[str, Any]]]:
+    """The K worst windows by density deviation and overlay contribution.
+
+    A regressed Variation* or Overlay* score is a number; this is the
+    pointer that goes with it.  Returns two ranked lists of plain-JSON
+    entries:
+
+    * ``by_deviation`` — per (layer, window): total metal density, the
+      layer mean, and ``|density - mean|``, worst first.  These are the
+      windows dragging σ(l) (and usually the outlier product) up.
+    * ``by_overlay`` — per (layer pair, window): the window's share of
+      the pair's fill-induced overlay area (:func:`overlay_map`), worst
+      first.  Windows with zero overlay are omitted.
+
+    ``k`` bounds each list independently.
+    """
+    by_deviation: List[Dict[str, Any]] = []
+    for layer in layout.layers:
+        density = metal_density_map(layer, grid)
+        mean = float(density.mean())
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                value = float(density[i, j])
+                by_deviation.append(
+                    {
+                        "layer": layer.number,
+                        "window": [i, j],
+                        "density": value,
+                        "layer_mean": mean,
+                        "deviation": abs(value - mean),
+                    }
+                )
+    by_deviation.sort(key=lambda e: (-e["deviation"], e["layer"], e["window"]))
+
+    by_overlay: List[Dict[str, Any]] = []
+    for lo, hi in layout.adjacent_pairs():
+        per_window = overlay_map(lo, hi, grid)
+        total = int(per_window.sum())
+        if total <= 0:
+            continue
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                area = int(per_window[i, j])
+                if area <= 0:
+                    continue
+                by_overlay.append(
+                    {
+                        "layers": [lo.number, hi.number],
+                        "window": [i, j],
+                        "overlay_area": area,
+                        "share": area / total,
+                    }
+                )
+    by_overlay.sort(key=lambda e: (-e["overlay_area"], e["layers"], e["window"]))
+    return {"by_deviation": by_deviation[:k], "by_overlay": by_overlay[:k]}
 
 
 def score_layout(

@@ -52,7 +52,7 @@ from .spans import (
     set_tracer,
     span,
 )
-from .summarize import diff_records, format_metrics, format_record
+from .summarize import diff_breaches, diff_records, format_metrics, format_record
 
 __all__ = [
     "metrics",
@@ -80,6 +80,7 @@ __all__ = [
     "current_span",
     "set_tracer",
     "span",
+    "diff_breaches",
     "diff_records",
     "format_metrics",
     "format_record",

@@ -6,8 +6,12 @@ Subcommands:
   counters and metric snapshot of one run record,
 * ``diff BEFORE.jsonl AFTER.jsonl`` — line two records up span by span
   and metric by metric (the before/after table a perf PR cites).
+  ``--fail-on PCT`` additionally exits nonzero when the total wall
+  clock, peak RSS or any root span grew by more than PCT percent,
+  making the diff usable as a standalone CI step.
 
-Exit codes: ``0`` ok, ``2`` on unreadable or malformed records.
+Exit codes: ``0`` ok, ``1`` ``--fail-on`` threshold breached, ``2`` on
+unreadable or malformed records.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .record import RecordError, RunRecord, read_record
-from .summarize import diff_records, format_record
+from .summarize import diff_breaches, diff_records, format_record
 
 __all__ = ["main", "build_parser"]
 
@@ -38,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two run records")
     diff.add_argument("before", type=Path)
     diff.add_argument("after", type=Path)
+    diff.add_argument(
+        "--fail-on",
+        type=float,
+        metavar="PCT",
+        help="exit 1 when total seconds, peak RSS or a root span "
+        "grew by more than PCT percent",
+    )
 
     return parser
 
@@ -55,7 +66,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "summarize":
             print(format_record(_load(args.record)))
         else:
-            print(diff_records(_load(args.before), _load(args.after)))
+            before, after = _load(args.before), _load(args.after)
+            print(diff_records(before, after))
+            if args.fail_on is not None:
+                breaches = diff_breaches(before, after, args.fail_on / 100.0)
+                if breaches:
+                    print()
+                    for line in breaches:
+                        print(f"FAIL {line}")
+                    return 1
     except SystemExit as exc:
         if exc.code and not isinstance(exc.code, int):
             print(exc.code, file=sys.stderr)

@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .record import RunRecord
 
-__all__ = ["format_record", "format_metrics", "diff_records"]
+__all__ = ["format_record", "format_metrics", "diff_records", "diff_breaches"]
 
 
 def _fmt_counters(counters: Mapping[str, float]) -> str:
@@ -152,3 +152,56 @@ def _metric_value(m: Optional[Mapping[str, Any]]) -> Optional[float]:
     if m.get("kind") == "histogram":
         return float(m.get("total", 0.0))
     return float(m.get("value", 0.0))
+
+
+#: growth below this many seconds never counts as a breach — tiny spans
+#: (and whole sub-second runs) jitter by large fractions run to run
+_BREACH_FLOOR_SECONDS = 0.05
+
+
+def diff_breaches(a: RunRecord, b: RunRecord, pct: float) -> List[str]:
+    """Regressions of ``b`` vs ``a`` beyond ``pct`` relative growth.
+
+    Checks the summary wall clock, peak RSS and every root span (the
+    stages a run is billed by).  ``pct`` is a fraction: ``0.2`` flags
+    anything more than 20% slower/bigger.  Growth below an absolute
+    floor of ``0.05 s`` is ignored so that sub-millisecond spans cannot
+    breach on scheduler noise.  Returns human-readable breach lines,
+    empty when the diff is clean — ``repro trace diff --fail-on`` turns
+    a non-empty result into a nonzero exit.
+    """
+    breaches: List[str] = []
+
+    def check(name: str, before: Optional[float], after: Optional[float],
+              floor: float) -> None:
+        if before is None or after is None:
+            return
+        if after - before < floor:
+            return
+        denom = max(before, floor)
+        growth = (after - before) / denom
+        if growth > pct:
+            breaches.append(
+                f"{name}: {before:.3f} -> {after:.3f} "
+                f"(+{growth:.1%}, allowed +{pct:.1%})"
+            )
+
+    check(
+        "total seconds",
+        float(a.summary.get("seconds", 0.0)),
+        float(b.summary.get("seconds", 0.0)),
+        _BREACH_FLOOR_SECONDS,
+    )
+    pa, pb = a.summary.get("peak_rss_mb"), b.summary.get("peak_rss_mb")
+    if pa is not None and pb is not None:
+        check("peak RSS (MB)", float(pa), float(pb), 1.0)
+    ia, ib = _span_index(a), _span_index(b)
+    for key in sorted(set(ia) & set(ib)):
+        if len(key) == 1:  # root spans only: the billed stages
+            check(
+                f"span {'/'.join(key)}",
+                ia[key],
+                ib[key],
+                _BREACH_FLOOR_SECONDS,
+            )
+    return breaches

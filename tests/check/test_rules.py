@@ -290,6 +290,27 @@ class TestRep007:
         src = "import time\nt0 = time.perf_counter()\n"
         assert run("REP007", src, "src/repro/obs/spans.py") == []
 
+    def test_benchmarks_not_exempt(self):
+        # benchmark drivers must clock through obs.measure, never raw
+        # perf_counter — the CI gate runs REP007 over benchmarks/.
+        src = "import time\nt0 = time.perf_counter()\n"
+        findings = run("REP007", src, "benchmarks/bench_scaling.py")
+        assert [f.code for f in findings] == ["REP007"]
+
+    def test_bench_tracker_not_exempt(self):
+        src = "from time import perf_counter\n"
+        findings = run("REP007", src, "src/repro/bench/tracker.py")
+        assert [f.code for f in findings] == ["REP007"]
+
+    def test_obs_measure_in_benchmarks_clean(self):
+        src = (
+            "from repro import obs\n"
+            "with obs.measure(sample_rss=False) as m:\n"
+            "    work()\n"
+            "secs = m.seconds\n"
+        )
+        assert run("REP007", src, "benchmarks/bench_scaling.py") == []
+
     def test_noqa_suppresses(self):
         src = "t0 = time.perf_counter()  # repro: noqa[REP007]\n"
         assert run("REP007", src) == []

@@ -1,0 +1,72 @@
+"""Tests for the peak-RSS sampler and measurement under exceptions."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.rss import PeakRssSampler, current_rss_bytes
+
+
+class TestPeakRssSampler:
+    def test_peak_monotone_under_allocation(self):
+        # The recorded peak can only grow while the sampler runs.
+        with PeakRssSampler(interval=0.001) as sampler:
+            peaks = []
+            blocks = []
+            for _ in range(5):
+                blocks.append(bytearray(4 * 1024 * 1024))
+                time.sleep(0.005)
+                peaks.append(sampler._peak)
+        assert peaks == sorted(peaks)
+        assert sampler.peak_bytes >= 0
+        assert sampler.peak_mb >= 0.0
+
+    def test_peak_nonnegative_even_when_rss_shrinks(self):
+        # RSS can drop below the entry baseline (the allocator returned
+        # pages); the reported growth clamps at zero.
+        sampler = PeakRssSampler()
+        sampler._peak = 0  # pretend every sample was below baseline
+        assert sampler.peak_mb == 0.0
+        assert sampler.peak_bytes == 0
+
+    def test_thread_stops_when_block_raises(self):
+        sampler = PeakRssSampler(interval=0.001)
+        with pytest.raises(RuntimeError):
+            with sampler:
+                assert sampler._thread.is_alive()
+                raise RuntimeError("boom")
+        sampler._thread.join(timeout=1.0)
+        assert not sampler._thread.is_alive()
+        assert sampler._stop.is_set()
+
+    def test_no_leaked_sampler_threads(self):
+        before = threading.active_count()
+        for _ in range(3):
+            try:
+                with PeakRssSampler(interval=0.001):
+                    raise ValueError
+            except ValueError:
+                pass
+        assert threading.active_count() <= before
+
+    def test_current_rss_positive_on_linux(self):
+        # /proc exists on the CI platform; elsewhere the helper returns 0.
+        assert current_rss_bytes() >= 0
+
+
+class TestMeasureUnderExceptions:
+    def test_measure_returns_values_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with obs.measure() as measured:
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        assert measured.seconds > 0.0
+        assert measured.peak_rss_mb >= 0.0
+
+    def test_measure_without_rss_sampling(self):
+        with pytest.raises(ValueError):
+            with obs.measure(sample_rss=False) as measured:
+                raise ValueError
+        assert measured.seconds >= 0.0

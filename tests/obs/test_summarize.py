@@ -1,0 +1,90 @@
+"""Tests for diff_breaches and the `trace diff --fail-on` CLI path."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.obs.record import RunRecord
+from repro.obs.summarize import diff_breaches
+
+
+def record(total, spans=None, rss=None):
+    """A synthetic record: spans as (name, depth, seconds) triples."""
+    summary = {"status": "ok", "seconds": total, "num_spans": 0}
+    if rss is not None:
+        summary["peak_rss_mb"] = rss
+    return RunRecord(
+        meta={"label": "t"},
+        spans=[
+            {"name": n, "depth": d, "seconds": s} for n, d, s in (spans or [])
+        ],
+        summary=summary,
+    )
+
+
+class TestDiffBreaches:
+    def test_clean_when_equal(self):
+        a = record(2.0, [("engine.run", 0, 2.0)])
+        assert diff_breaches(a, a, 0.10) == []
+
+    def test_total_seconds_breach(self):
+        breaches = diff_breaches(record(1.0), record(1.5), 0.20)
+        assert len(breaches) == 1
+        assert "total seconds" in breaches[0]
+
+    def test_improvement_never_breaches(self):
+        assert diff_breaches(record(2.0), record(1.0), 0.05) == []
+
+    def test_root_span_breach(self):
+        a = record(2.0, [("engine.run", 0, 1.0), ("io.write", 0, 1.0)])
+        b = record(2.2, [("engine.run", 0, 2.0), ("io.write", 0, 0.2)])
+        breaches = diff_breaches(a, b, 0.50)
+        assert any("span engine.run" in line for line in breaches)
+        assert not any("io.write" in line for line in breaches)
+
+    def test_child_spans_not_gated(self):
+        # Only root spans gate: children jitter with scheduling noise.
+        a = record(2.0, [("engine.run", 0, 2.0), ("sizing", 1, 0.1)])
+        b = record(2.0, [("engine.run", 0, 2.0), ("sizing", 1, 1.0)])
+        assert diff_breaches(a, b, 0.10) == []
+
+    def test_peak_rss_breach(self):
+        breaches = diff_breaches(
+            record(1.0, rss=100.0), record(1.0, rss=200.0), 0.30
+        )
+        assert any("peak RSS" in line for line in breaches)
+
+    def test_absolute_floor_suppresses_noise(self):
+        # +300% on a 10 ms span is scheduler noise, not a regression.
+        breaches = diff_breaches(record(0.010), record(0.040), 0.20)
+        assert breaches == []
+
+
+class TestFailOnCli:
+    def write(self, tmp_path, name, total):
+        path = tmp_path / name
+        events = [
+            {"event": "meta", "schema": 1, "label": "t"},
+            {"event": "span", "name": "engine.run", "depth": 0, "seconds": total},
+            {"event": "summary", "status": "ok", "seconds": total, "num_spans": 1},
+        ]
+        path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        return path
+
+    def test_under_threshold_exit_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.jsonl", 1.0)
+        b = self.write(tmp_path, "b.jsonl", 1.05)
+        assert obs_main(["diff", str(a), str(b), "--fail-on", "20"]) == 0
+
+    def test_breach_exit_one(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.jsonl", 1.0)
+        b = self.write(tmp_path, "b.jsonl", 2.0)
+        assert obs_main(["diff", str(a), str(b), "--fail-on", "20"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_no_flag_keeps_old_behaviour(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.jsonl", 1.0)
+        b = self.write(tmp_path, "b.jsonl", 5.0)
+        assert obs_main(["diff", str(a), str(b)]) == 0

@@ -185,3 +185,78 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "run record: repro fill" in out
         assert "engine.run" in out
+
+    def test_generate_trace_out_writes_run_record(self, tmp_path, capsys):
+        from repro.obs import read_record
+
+        trace_path = tmp_path / "gen.jsonl"
+        code = main(
+            [
+                "generate",
+                str(tmp_path / "demo.gds"),
+                "--die",
+                "1600",
+                "--wires",
+                "120",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote run record" in capsys.readouterr().out
+        record = read_record(trace_path)
+        assert record.label == "repro generate"
+        assert {"generate", "io.write"} <= set(record.stage_seconds())
+
+    def test_drc_trace_out_writes_run_record(self, demo_gds, tmp_path, capsys):
+        from repro.obs import read_record
+
+        trace_path = tmp_path / "drc.jsonl"
+        code = main(["drc", str(demo_gds), "--trace-out", str(trace_path)])
+        assert code == 0
+        assert "wrote run record" in capsys.readouterr().out
+        record = read_record(trace_path)
+        assert record.label == "repro drc"
+        assert {"io.read", "drc"} <= set(record.stage_seconds())
+
+    def test_generate_drc_obs_defaults(self):
+        args = build_parser().parse_args(["generate", "a.gds"])
+        assert args.trace_out is None and args.log_level == "warning"
+        args = build_parser().parse_args(["drc", "a.gds", "--log-level", "debug"])
+        assert args.trace_out is None and args.log_level == "debug"
+
+    def test_trace_diff_fail_on_flag(self, demo_gds, tmp_path, capsys):
+        out_path = tmp_path / "filled.gds"
+        traces = []
+        for name in ("a.jsonl", "b.jsonl"):
+            trace_path = tmp_path / name
+            main(
+                [
+                    "fill",
+                    str(demo_gds),
+                    str(out_path),
+                    "--windows",
+                    "4",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            traces.append(trace_path)
+        capsys.readouterr()
+        # Two identical runs differ by noise only: a huge threshold passes.
+        code = main(
+            ["trace", "diff", str(traces[0]), str(traces[1]), "--fail-on", "10000"]
+        )
+        assert code == 0
+
+
+class TestBenchSubcommand:
+    def test_bench_run_and_gate_forwarded(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert main(["bench", "run", "--set", "smoke", "--out", out]) == 0
+        assert main(["bench", "run", "--set", "smoke", "--out", out]) == 0
+        traj = tmp_path / "BENCH_smoke.json"
+        assert traj.exists()
+        capsys.readouterr()
+        assert main(["bench", "gate", str(traj)]) == 0
+        assert "bench gate: smoke" in capsys.readouterr().out
