@@ -8,7 +8,12 @@ Subcommands:
   a summary table.
 * ``gate TRAJECTORY...`` — compare the newest record of each trajectory
   against a baseline record (``--baseline``) or the previous entry,
-  with per-metric relative thresholds (``--threshold seconds=0.25``).
+  with per-metric relative thresholds (``--threshold seconds=0.25``)
+  and optional per-stage thresholds (``--threshold stage.sizing=0.40``);
+  a runtime regression is attributed to the ``stage_seconds`` entries
+  that grew.
+* ``prune TRAJECTORY... --keep N`` — cap each trajectory at the newest
+  N records per config hash (the per-configuration baselines survive).
 
 Exit codes: ``0`` ok, ``1`` regression detected, ``2`` usage or
 unreadable inputs.
@@ -31,6 +36,7 @@ from .tracker import (
     format_gate,
     gate_records,
     load_trajectory,
+    prune_trajectory,
     run_benchmark,
     trajectory_path,
 )
@@ -67,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="windows per attribution list (default: 5)",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for the sharded engine stages "
+        "(recorded in the config hash; default: 1)",
+    )
+    run.add_argument(
+        "--parallel",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="execution backend when --workers != 1 (default: process)",
+    )
 
     gate = sub.add_parser(
         "gate", help="fail when the newest record regressed past thresholds"
@@ -99,15 +118,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
 
+    prune = sub.add_parser(
+        "prune", help="cap trajectories at N records per config hash"
+    )
+    prune.add_argument(
+        "trajectories",
+        nargs="+",
+        type=Path,
+        metavar="TRAJECTORY",
+        help="BENCH_<name>.json trajectory file(s) to prune in place",
+    )
+    prune.add_argument(
+        "--keep",
+        type=int,
+        default=20,
+        help="newest records to keep per config hash (default: 20)",
+    )
+
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from ..core import FillConfig
+    from .contest import CONTEST_ETA
+
+    config = FillConfig(
+        eta=CONTEST_ETA, workers=args.workers, parallel=args.parallel
+    )
     header = f"{'bench':<8}{'score':>8}{'quality':>9}{'seconds':>9}{'rss MB':>8}{'fills':>8}"
     print(header)
     print("-" * len(header))
     for name in BENCH_SETS[args.bench_set]:
-        record = run_benchmark(name, worst_k=args.worst_k)
+        record = run_benchmark(name, config=config, worst_k=args.worst_k)
         path = trajectory_path(args.out, name)
         length = append_record(path, record)
         print(
@@ -186,11 +228,20 @@ def _cmd_gate(args: argparse.Namespace) -> int:
     return 1 if regressed else 0
 
 
+def _cmd_prune(args: argparse.Namespace) -> int:
+    for path in args.trajectories:
+        kept, removed = prune_trajectory(path, args.keep)
+        print(f"{path}: kept {kept} record(s), removed {removed}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "prune":
+            return _cmd_prune(args)
         return _cmd_gate(args)
     except (OSError, TrajectoryError) as exc:
         print(f"repro.bench: {exc}", file=sys.stderr)

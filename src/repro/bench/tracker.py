@@ -62,8 +62,11 @@ __all__ = [
     "trajectory_path",
     "load_trajectory",
     "append_record",
+    "prune_records",
+    "prune_trajectory",
     "GATE_METRICS",
     "MetricDelta",
+    "StageDelta",
     "GateResult",
     "gate_records",
     "format_gate",
@@ -268,22 +271,63 @@ def load_trajectory(path: Union[str, Path]) -> List[BenchRecord]:
     return [BenchRecord.from_dict(r) for r in records]
 
 
-def append_record(path: Union[str, Path], record: BenchRecord) -> int:
-    """Append ``record`` to the trajectory at ``path``; returns its length."""
-    path = Path(path)
-    records = load_trajectory(path) if path.exists() else []
-    records.append(record)
+def _write_trajectory(
+    path: Path, bench: str, records: Sequence[BenchRecord]
+) -> None:
     payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "kind": "trajectory",
-        "bench": record.bench,
+        "bench": bench,
         "records": [r.to_dict() for r in records],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+def append_record(path: Union[str, Path], record: BenchRecord) -> int:
+    """Append ``record`` to the trajectory at ``path``; returns its length."""
+    path = Path(path)
+    records = load_trajectory(path) if path.exists() else []
+    records.append(record)
+    _write_trajectory(path, record.bench, records)
     return len(records)
+
+
+def prune_records(
+    records: Sequence[BenchRecord], keep: int
+) -> List[BenchRecord]:
+    """Keep only the newest ``keep`` records *per config hash*.
+
+    Trajectories grow one record per CI run; pruning caps their size
+    without losing the per-configuration baselines the gate compares
+    against — the newest record of every configuration ever measured
+    survives, so ``repro bench gate --baseline`` keeps working after a
+    config change.  Relative record order is preserved.
+    """
+    if keep < 1:
+        raise TrajectoryError(f"--keep must be at least 1, got {keep}")
+    seen: Dict[str, int] = {}
+    keep_flags = [False] * len(records)
+    for idx in range(len(records) - 1, -1, -1):
+        digest = records[idx].config_hash
+        if seen.get(digest, 0) < keep:
+            seen[digest] = seen.get(digest, 0) + 1
+            keep_flags[idx] = True
+    return [r for r, kept in zip(records, keep_flags) if kept]
+
+
+def prune_trajectory(path: Union[str, Path], keep: int) -> Tuple[int, int]:
+    """Prune the trajectory file in place; returns ``(kept, removed)``."""
+    path = Path(path)
+    records = load_trajectory(path)
+    pruned = prune_records(records, keep)
+    removed = len(records) - len(pruned)
+    if removed:
+        bench = pruned[-1].bench if pruned else records[-1].bench
+        _write_trajectory(path, bench, pruned)
+    return len(pruned), removed
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +361,67 @@ _DENOM_FLOORS: Dict[str, float] = {
 }
 
 
+#: floor for a stage's relative-change denominator: sub-10ms stages on
+#: a smoke run would otherwise read as huge regressions from noise
+_STAGE_DENOM_FLOOR = 0.05
+
+#: prefix for per-stage threshold overrides (``--threshold stage.sizing=0.4``)
+_STAGE_PREFIX = "stage."
+
+
+@dataclass(frozen=True)
+class StageDelta:
+    """One ``stage_seconds`` entry compared across two records.
+
+    This is the *attribution* half of the runtime gate: when the
+    ``seconds`` metric regresses, the stage deltas say which engine
+    stage (analysis, candidates, sizing, ...) the extra wall clock
+    landed in.  A stage only *gates* (sets ``regressed``) when an
+    explicit ``stage.<name>`` threshold was supplied.
+    """
+
+    stage: str
+    baseline: float
+    current: float
+    #: absolute seconds added by this stage (positive = slower)
+    delta: float
+    #: relative change against the floored baseline
+    change: float
+    threshold: Optional[float]
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _stage_deltas(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    thresholds: Mapping[str, float],
+) -> List[StageDelta]:
+    names = sorted(set(baseline.stage_seconds) | set(current.stage_seconds))
+    deltas: List[StageDelta] = []
+    for name in names:
+        base = float(baseline.stage_seconds.get(name, 0.0))
+        cur = float(current.stage_seconds.get(name, 0.0))
+        delta = cur - base
+        change = delta / max(base, _STAGE_DENOM_FLOOR)
+        threshold = thresholds.get(_STAGE_PREFIX + name)
+        deltas.append(
+            StageDelta(
+                stage=name,
+                baseline=base,
+                current=cur,
+                delta=delta,
+                change=change,
+                threshold=threshold,
+                regressed=threshold is not None and change > threshold,
+            )
+        )
+    deltas.sort(key=lambda d: d.delta, reverse=True)
+    return deltas
+
+
 @dataclass(frozen=True)
 class MetricDelta:
     """One gated metric compared across two records."""
@@ -343,14 +448,23 @@ class GateResult:
     current_sha: Optional[str]
     config_changed: bool
     deltas: List[MetricDelta]
+    #: runtime attribution: stage_seconds compared entry by entry,
+    #: largest absolute slowdown first
+    stage_deltas: List[StageDelta] = field(default_factory=list)
 
     @property
     def regressed(self) -> bool:
-        return any(d.regressed for d in self.deltas)
+        return any(d.regressed for d in self.deltas) or any(
+            d.regressed for d in self.stage_deltas
+        )
 
     @property
     def regressions(self) -> List[MetricDelta]:
         return [d for d in self.deltas if d.regressed]
+
+    @property
+    def stage_regressions(self) -> List[StageDelta]:
+        return [d for d in self.stage_deltas if d.regressed]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -362,6 +476,7 @@ class GateResult:
             "config_changed": self.config_changed,
             "regressed": self.regressed,
             "deltas": [d.to_dict() for d in self.deltas],
+            "stage_deltas": [d.to_dict() for d in self.stage_deltas],
         }
 
 
@@ -373,10 +488,13 @@ def gate_records(
     """Compare ``current`` against ``baseline`` metric by metric.
 
     ``thresholds`` overrides the default relative threshold of listed
-    metrics (fractions: ``{"seconds": 0.25}`` allows +25%).  Records of
-    different benchmarks are incomparable and raise
-    :class:`TrajectoryError`; differing config hashes are allowed but
-    flagged on the result.
+    metrics (fractions: ``{"seconds": 0.25}`` allows +25%).  Keys of
+    the form ``stage.<name>`` gate an individual ``stage_seconds``
+    entry instead (``{"stage.sizing": 0.40}`` fails the gate when the
+    sizing stage alone slows by more than 40%); without such a key the
+    stage deltas are attribution only.  Records of different
+    benchmarks are incomparable and raise :class:`TrajectoryError`;
+    differing config hashes are allowed but flagged on the result.
     """
     if baseline.bench != current.bench:
         raise TrajectoryError(
@@ -384,7 +502,9 @@ def gate_records(
             f"baseline {baseline.bench!r}"
         )
     overrides = dict(thresholds or {})
-    unknown = set(overrides) - set(GATE_METRICS)
+    stage_names = set(baseline.stage_seconds) | set(current.stage_seconds)
+    known_stage_keys = {_STAGE_PREFIX + name for name in stage_names}
+    unknown = set(overrides) - set(GATE_METRICS) - known_stage_keys
     if unknown:
         raise TrajectoryError(
             f"unknown gate metric(s): {', '.join(sorted(unknown))}"
@@ -414,6 +534,7 @@ def gate_records(
         current_sha=current.git_sha,
         config_changed=baseline.config_hash != current.config_hash,
         deltas=deltas,
+        stage_deltas=_stage_deltas(baseline, current, overrides),
     )
 
 
@@ -442,8 +563,26 @@ def format_gate(result: GateResult) -> str:
             f"{d.change:>8.1%}{worse}{d.threshold:>8.0%}{worse}  "
             f"{'REGRESSED' if d.regressed else 'ok'}"
         )
+    seconds_regressed = any(
+        d.metric == "seconds" and d.regressed for d in result.deltas
+    )
+    gated_stages = [d for d in result.stage_deltas if d.threshold is not None]
+    if result.stage_deltas and (
+        seconds_regressed or gated_stages or result.stage_regressions
+    ):
+        lines.append("runtime attribution (stage_seconds, slowest-growing first):")
+        for d in result.stage_deltas:
+            allowed = f"{d.threshold:>7.0%}+" if d.threshold is not None else "       -"
+            status = "REGRESSED" if d.regressed else "ok"
+            lines.append(
+                f"  {d.stage:<12}{d.baseline:>10.4f}{d.current:>10.4f}"
+                f"{d.delta:>+9.4f}s{d.change:>8.1%}{allowed}  {status}"
+            )
+    regressed_names = [d.metric for d in result.regressions] + [
+        _STAGE_PREFIX + d.stage for d in result.stage_regressions
+    ]
     verdict = (
-        f"REGRESSION: {', '.join(d.metric for d in result.regressions)}"
+        f"REGRESSION: {', '.join(regressed_names)}"
         if result.regressed
         else "ok: no metric degraded past its threshold"
     )

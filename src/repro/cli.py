@@ -126,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="mcf-ssp",
     )
     fill.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for the window-sharded stages "
+        "(1 = serial, 0 = one per core; output is identical for any N)",
+    )
+    fill.add_argument(
+        "--parallel",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="execution backend when --workers != 1 (default: process)",
+    )
+    fill.add_argument(
         "--report",
         type=Path,
         help="write a markdown run report to this path",
@@ -223,6 +236,8 @@ def _cmd_fill(args: argparse.Namespace) -> int:
             lambda_factor=args.lambda_factor,
             gamma=args.gamma,
             solver=args.solver,
+            workers=args.workers,
+            parallel=args.parallel,
         )
         report = DummyFillEngine(config).run(layout, grid)
         with obs.span("drc"):

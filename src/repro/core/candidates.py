@@ -139,6 +139,36 @@ def quality_score(
     return -overlay / fill.area + gamma * fill.area / window_area
 
 
+@dataclass(frozen=True)
+class _SharedState:
+    """Read-only inputs every window of a generation run shares.
+
+    Built once per :func:`generate_candidates` call and shipped to
+    parallel workers once per worker (pool initializer), so the
+    per-layer wire indexes — which replace the old per-window
+    O(windows x wires) rescan of :func:`_neighbor_shapes` — are
+    constructed and pickled exactly once.
+    """
+
+    rules: DrcRules
+    config: FillConfig
+    numbers: Tuple[int, ...]
+    num_layers: int
+    wire_indexes: Dict[int, GridIndex[int]]
+
+
+@dataclass(frozen=True)
+class _WindowTask:
+    """One window's slice of the analysis/plan — a unit of shard work."""
+
+    key: WindowKey
+    window: Rect
+    area: int
+    regions: Dict[int, List[Rect]]  # fr(l)
+    wire_density: Dict[int, float]  # dw(l)
+    targets: Dict[int, float]  # dt(l)
+
+
 @dataclass
 class _WindowContext:
     """Per-window working state shared across layers during Alg. 1."""
@@ -197,23 +227,190 @@ def _select_until(
 
 
 def _neighbor_shapes(
-    layout: Layout,
+    shared: _SharedState,
     ctx: _WindowContext,
     layer_number: int,
     window: Rect,
     margin: int,
 ) -> List[Rect]:
-    """Wires and selected candidates on layers l−1 and l+1 near a window."""
+    """Wires and selected candidates on layers l−1 and l+1 near a window.
+
+    Wires come from the per-layer :class:`GridIndex` built once per
+    run, not a scan of the whole layer: the index query returns
+    exactly the wires whose closed box touches the expanded window —
+    the same set (in the same insertion order) whose intersection with
+    it is non-``None``.
+    """
     shapes: List[Rect] = []
+    frame = window.expanded(margin)
     for adj in (layer_number - 1, layer_number + 1):
-        if adj < 1 or adj > layout.num_layers:
+        if adj < 1 or adj > shared.num_layers:
             continue
-        for wire in layout.layer(adj).wires:
-            clipped = wire.intersection(window.expanded(margin))
+        for wire, _ in shared.wire_indexes[adj].query(frame):
+            clipped = wire.intersection(frame)
             if clipped is not None:
                 shapes.append(clipped)
         shapes.extend(ctx.selected.get(adj, []))
     return shapes
+
+
+def _window_candidates(
+    shared: _SharedState, task: _WindowTask
+) -> Dict[int, List[Rect]]:
+    """Run Alg. 1 for one window; the unit of (possibly sharded) work."""
+    rules = shared.rules
+    config = shared.config
+    lam = config.lambda_factor
+    numbers = shared.numbers
+    window = task.window
+    ctx = _WindowContext(
+        key=task.key,
+        area=task.area,
+        regions=task.regions,
+        wire_density=task.wire_density,
+        targets=task.targets,
+        selected={n: [] for n in numbers},
+    )
+    # --- odd layers (Alg. 1 lines 9-19) -------------------------------
+    for l in (n for n in numbers if n % 2 == 1):
+        dt = ctx.targets[l]
+        dw = ctx.wire_density[l]
+        need = max(0.0, lam * dt - dw) * ctx.area
+        if need <= 0:
+            continue
+        # Region 3: free on this layer AND on every existing
+        # adjacent layer.  Alg. 1 writes intersect(fr(l), fr(l+1));
+        # for the top odd layer of an odd stack the relevant
+        # neighbour is l-1 instead.
+        shared_region = ctx.regions[l]
+        dg_sum = max(0.0, dt - dw)
+        has_neighbor = False
+        for adj in (l + 1, l - 1):
+            if adj in ctx.regions and adj >= 1:
+                shared_region = rect_set_intersect(
+                    shared_region, ctx.regions[adj]
+                )
+                dg_sum += max(
+                    0.0, ctx.targets[adj] - ctx.wire_density[adj]
+                )
+                has_neighbor = True
+        if not has_neighbor:
+            shared_region = []
+        shared_area = sum(r.area for r in shared_region)
+        case_one = (
+            config.case1_steering
+            and bool(shared_region)
+            and shared_area >= dg_sum * ctx.area
+        )
+        # Case I (Alg. 1 line 13): both gaps fit in the doubly-free
+        # region — shape candidates inside it (Fig. 4(b)) and take
+        # the shaped ones first.  Case II: largest fills first
+        # (Alg. 1 line 16).
+        cands = grid_candidates(
+            ctx.regions[l],
+            rules,
+            anchor=window,
+            prefer=shared_region if case_one else None,
+        )
+        if not cands:
+            continue
+        if case_one:
+            cands.sort(key=lambda c: (not _covered(c, shared_region), -c.area))
+        else:
+            cands.sort(key=lambda c: -c.area)
+        ctx.selected[l] = _select_until(cands, need, window)
+    # --- even layers (Alg. 1 lines 20-24) -----------------------------
+    for l in (n for n in numbers if n % 2 == 0):
+        dt = ctx.targets[l]
+        dw = ctx.wire_density[l]
+        need = max(0.0, lam * dt - dw) * ctx.area
+        if need <= 0:
+            continue
+        # Grid phase: when the free space left over by the adjacent
+        # layers' fills can host this layer's need, an *aligned*
+        # grid lets the quality score pick exactly the empty tiles
+        # (the Fig. 4(b) interleaving -> zero fill-fill overlay).
+        # Only when the layers must fill nearly everything does a
+        # half-pitch stagger reduce the unavoidable per-pair overlap.
+        region_area = sum(r.area for r in ctx.regions[l])
+        adj_fill_area = sum(
+            r.area
+            for adj in (l - 1, l + 1)
+            if adj in ctx.selected
+            for r in ctx.selected[adj]
+        )
+        use_stagger = config.stagger_even_layers and need > max(
+            0, region_area - adj_fill_area
+        )
+        cands = grid_candidates(
+            ctx.regions[l],
+            rules,
+            stagger=use_stagger,
+            anchor=window,
+        )
+        if not cands:
+            continue
+        neighbors = _neighbor_shapes(
+            shared, ctx, l, window, rules.min_spacing
+        )
+        index: GridIndex[int] = GridIndex(
+            max(64, rules.max_fill_width + rules.min_spacing)
+        )
+        for k, s in enumerate(neighbors):
+            index.insert(s, k)
+        scored = [
+            (
+                quality_score(
+                    c,
+                    [r for r, _ in index.query_overlapping(c)],
+                    ctx.area,
+                    config.gamma,
+                ),
+                c,
+            )
+            for c in cands
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        # No quadrant spread here: the quality ranking itself must
+        # decide (a spread would pull overlay-heavy candidates in
+        # ahead of clean ones); the odd layers' spread already
+        # balances where the empty tiles are.
+        ctx.selected[l] = _select_until([c for _, c in scored], need)
+    return ctx.selected
+
+
+def _generate_shard(
+    shared: _SharedState, tasks: Sequence[_WindowTask]
+) -> List[Tuple[WindowKey, Dict[int, List[Rect]]]]:
+    """Worker entry point: Alg. 1 over one shard of windows, in order."""
+    out: List[Tuple[WindowKey, Dict[int, List[Rect]]]] = []
+    for task in tasks:
+        selected = _window_candidates(shared, task)
+        out.append((task.key, selected))
+        obs.metrics.counter("candidates.windows").inc()
+        for l, chosen in selected.items():
+            if chosen:
+                round_name = "odd" if l % 2 == 1 else "even"
+                obs.metrics.counter(f"candidates.round.{round_name}").inc(
+                    len(chosen)
+                )
+    return out
+
+
+def _wire_indexes(layout: Layout) -> Dict[int, GridIndex[int]]:
+    """One spatial index per layer over its wires, built up front.
+
+    Replaces the per-window full-layer wire scans; shared read-only
+    with parallel workers (pickled once per worker).
+    """
+    cell = max(64, min(layout.die.width, layout.die.height) // 16)
+    out: Dict[int, GridIndex[int]] = {}
+    for layer in layout.layers:
+        index: GridIndex[int] = GridIndex(cell)
+        for k, wire in enumerate(layer.wires):
+            index.insert(wire, k)
+        out[layer.number] = index
+    return out
 
 
 def generate_candidates(
@@ -232,141 +429,64 @@ def generate_candidates(
 
     ``windows`` restricts generation to the given window keys (the ECO
     flow re-fills only the windows a change touched).
+
+    Windows are independent by construction, so with
+    ``config.workers != 1`` the window list is sharded contiguously in
+    grid order and the shards run on the :mod:`repro.parallel`
+    backend; results (and worker spans/metrics) merge in shard order,
+    making the output identical for every worker count.
     """
     if config is None:
         config = FillConfig()
-    rules = layout.rules
-    lam = config.lambda_factor
-    numbers = layout.layer_numbers
-    odd = [n for n in numbers if n % 2 == 1]
-    even = [n for n in numbers if n % 2 == 0]
-
+    numbers = tuple(layout.layer_numbers)
+    shared = _SharedState(
+        rules=layout.rules,
+        config=config,
+        numbers=numbers,
+        num_layers=layout.num_layers,
+        wire_indexes=_wire_indexes(layout),
+    )
     selected_windows = set(windows) if windows is not None else None
-    result: CandidatePlan = {}
+    tasks: List[_WindowTask] = []
     for i, j, window in grid:
         key = (i, j)
         if selected_windows is not None and key not in selected_windows:
             continue
-        ctx = _WindowContext(
-            key=key,
-            area=grid.window_area(i, j),
-            regions={n: analysis[n].fill_regions.get(key, []) for n in numbers},
-            wire_density={n: float(analysis[n].lower[i, j]) for n in numbers},
-            targets={n: float(plan.target(n)[i, j]) for n in numbers},
-            selected={n: [] for n in numbers},
+        tasks.append(
+            _WindowTask(
+                key=key,
+                window=window,
+                area=grid.window_area(i, j),
+                regions={
+                    n: analysis[n].fill_regions.get(key, []) for n in numbers
+                },
+                wire_density={
+                    n: float(analysis[n].lower[i, j]) for n in numbers
+                },
+                targets={n: float(plan.target(n)[i, j]) for n in numbers},
+            )
         )
-        # --- odd layers (Alg. 1 lines 9-19) -------------------------------
-        for l in odd:
-            dt = ctx.targets[l]
-            dw = ctx.wire_density[l]
-            need = max(0.0, lam * dt - dw) * ctx.area
-            if need <= 0:
-                continue
-            # Region 3: free on this layer AND on every existing
-            # adjacent layer.  Alg. 1 writes intersect(fr(l), fr(l+1));
-            # for the top odd layer of an odd stack the relevant
-            # neighbour is l-1 instead.
-            shared = ctx.regions[l]
-            dg_sum = max(0.0, dt - dw)
-            has_neighbor = False
-            for adj in (l + 1, l - 1):
-                if adj in ctx.regions and adj >= 1:
-                    shared = rect_set_intersect(shared, ctx.regions[adj])
-                    dg_sum += max(
-                        0.0, ctx.targets[adj] - ctx.wire_density[adj]
-                    )
-                    has_neighbor = True
-            if not has_neighbor:
-                shared = []
-            shared_area = sum(r.area for r in shared)
-            case_one = (
-                config.case1_steering
-                and bool(shared)
-                and shared_area >= dg_sum * ctx.area
+
+    workers = config.effective_workers()
+    if workers == 1 or len(tasks) <= 1:
+        pairs = _generate_shard(shared, tasks)
+    else:
+        from ..parallel import run_sharded, shard_items
+
+        shards = shard_items(tasks, workers)
+        pairs = [
+            pair
+            for shard_pairs in run_sharded(
+                _generate_shard,
+                shared,
+                shards,
+                workers=workers,
+                backend=config.parallel,
+                label="candidates.shard",
             )
-            # Case I (Alg. 1 line 13): both gaps fit in the doubly-free
-            # region — shape candidates inside it (Fig. 4(b)) and take
-            # the shaped ones first.  Case II: largest fills first
-            # (Alg. 1 line 16).
-            cands = grid_candidates(
-                ctx.regions[l],
-                rules,
-                anchor=window,
-                prefer=shared if case_one else None,
-            )
-            if not cands:
-                continue
-            if case_one:
-                cands.sort(key=lambda c: (not _covered(c, shared), -c.area))
-            else:
-                cands.sort(key=lambda c: -c.area)
-            ctx.selected[l] = _select_until(cands, need, window)
-        # --- even layers (Alg. 1 lines 20-24) -----------------------------
-        for l in even:
-            dt = ctx.targets[l]
-            dw = ctx.wire_density[l]
-            need = max(0.0, lam * dt - dw) * ctx.area
-            if need <= 0:
-                continue
-            # Grid phase: when the free space left over by the adjacent
-            # layers' fills can host this layer's need, an *aligned*
-            # grid lets the quality score pick exactly the empty tiles
-            # (the Fig. 4(b) interleaving -> zero fill-fill overlay).
-            # Only when the layers must fill nearly everything does a
-            # half-pitch stagger reduce the unavoidable per-pair overlap.
-            region_area = sum(r.area for r in ctx.regions[l])
-            adj_fill_area = sum(
-                r.area
-                for adj in (l - 1, l + 1)
-                if adj in ctx.selected
-                for r in ctx.selected[adj]
-            )
-            use_stagger = config.stagger_even_layers and need > max(
-                0, region_area - adj_fill_area
-            )
-            cands = grid_candidates(
-                ctx.regions[l],
-                rules,
-                stagger=use_stagger,
-                anchor=window,
-            )
-            if not cands:
-                continue
-            neighbors = _neighbor_shapes(
-                layout, ctx, l, window, rules.min_spacing
-            )
-            index: GridIndex[int] = GridIndex(
-                max(64, rules.max_fill_width + rules.min_spacing)
-            )
-            for k, s in enumerate(neighbors):
-                index.insert(s, k)
-            scored = [
-                (
-                    quality_score(
-                        c,
-                        [r for r, _ in index.query_overlapping(c)],
-                        ctx.area,
-                        config.gamma,
-                    ),
-                    c,
-                )
-                for c in cands
-            ]
-            scored.sort(key=lambda pair: (-pair[0], pair[1]))
-            # No quadrant spread here: the quality ranking itself must
-            # decide (a spread would pull overlay-heavy candidates in
-            # ahead of clean ones); the odd layers' spread already
-            # balances where the empty tiles are.
-            ctx.selected[l] = _select_until([c for _, c in scored], need)
-        result[key] = ctx.selected
-        obs.metrics.counter("candidates.windows").inc()
-        for l, chosen in ctx.selected.items():
-            if chosen:
-                round_name = "odd" if l % 2 == 1 else "even"
-                obs.metrics.counter(f"candidates.round.{round_name}").inc(
-                    len(chosen)
-                )
-    return result
+            for pair in shard_pairs
+        ]
+    return dict(pairs)
 
 
 def candidate_area_maps(

@@ -15,6 +15,7 @@ from typing import Optional
 __all__ = ["FillConfig"]
 
 _SOLVERS = ("mcf-ssp", "mcf-simplex", "mcf-costscaling", "lp")
+_BACKENDS = ("process", "thread", "serial")
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,20 @@ class FillConfig:
         host both layers' density gaps, shape odd-layer candidates
         inside it (Alg. 1 Case I).  Disable to measure the overlay cost
         of ignoring the neighbour layers during candidate generation.
+    workers:
+        Worker count for the window-sharded stages (candidate
+        generation and sizing, which are window-independent by
+        construction).  ``1`` (the default) runs serially and is
+        bit-identical to the pre-parallel engine; ``0`` means one
+        worker per available core; any ``N > 1`` shards the window
+        list over ``N`` workers and merges deterministically, so the
+        output is identical for every worker count.
+    parallel:
+        Execution backend used when ``workers != 1``: ``"process"``
+        (a process pool — the fast path for the pure-Python shard
+        bodies), ``"thread"`` (a thread pool; GIL-bound but cheap to
+        start), or ``"serial"`` (shard and merge without any pool —
+        the reference the determinism tests compare against).
     """
 
     lambda_factor: float = 1.1
@@ -73,6 +88,8 @@ class FillConfig:
     window_margin: Optional[int] = None
     stagger_even_layers: bool = True
     case1_steering: bool = True
+    workers: int = 1
+    parallel: str = "process"
 
     def __post_init__(self) -> None:
         if self.lambda_factor < 1.0:
@@ -91,6 +108,10 @@ class FillConfig:
             raise ValueError(f"solver must be one of {_SOLVERS}")
         if self.window_margin is not None and self.window_margin < 0:
             raise ValueError("window_margin cannot be negative")
+        if self.workers < 0:
+            raise ValueError("workers cannot be negative (0 means one per core)")
+        if self.parallel not in _BACKENDS:
+            raise ValueError(f"parallel must be one of {_BACKENDS}")
 
     def effective_margin(self, min_spacing: int) -> int:
         """Window-edge inset: explicit value or ``ceil(sm / 2)``."""
@@ -103,3 +124,11 @@ class FillConfig:
         if self.sizing_step is not None:
             return self.sizing_step
         return max(2, min(max_fill_width, max_fill_height) // 4)
+
+    def effective_workers(self) -> int:
+        """Resolved worker count: ``0`` maps to one per available core."""
+        if self.workers == 0:
+            import os
+
+            return max(1, os.cpu_count() or 1)
+        return self.workers

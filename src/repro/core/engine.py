@@ -183,12 +183,10 @@ class DummyFillEngine:
         and must not read as zero-capacity, which would drag the
         re-planned target below the surrounding density.
         """
-        from ..density.analysis import fill_density_map
+        from ..density.analysis import fill_density_map, window_area_map
 
         cand_area = candidate_area_maps(candidates, grid, layout.layer_numbers)
-        window_area = np.zeros((grid.cols, grid.rows))
-        for i, j, _ in grid:
-            window_area[i, j] = grid.window_area(i, j)
+        window_area = window_area_map(grid).astype(np.float64)
         updated: Dict[int, LayerDensity] = {}
         for n, ld in analysis.items():
             existing = (
@@ -213,15 +211,22 @@ class DummyFillEngine:
         analysis: Mapping[int, LayerDensity],
         plan: DensityPlan,
     ) -> Dict[WindowKey, Dict[int, float]]:
-        """dt(l)·aw of Eqn. (9b) per window: the fill area to keep."""
+        """dt(l)·aw of Eqn. (9b) per window: the fill area to keep.
+
+        Vectorized: one ``max(0, dt − l) · aw`` array op per layer
+        instead of a Python loop over windows × layers; the per-window
+        dict view the sizing stage consumes is built off the arrays.
+        """
+        from ..density.analysis import window_area_map
+
+        area = window_area_map(grid)
+        per_layer = {
+            n: np.maximum(0.0, plan.target(n) - analysis[n].lower) * area
+            for n in analysis
+        }
         out: Dict[WindowKey, Dict[int, float]] = {}
         for i, j, _ in grid:
-            aw = grid.window_area(i, j)
-            out[(i, j)] = {
-                n: max(0.0, float(plan.target(n)[i, j] - analysis[n].lower[i, j]))
-                * aw
-                for n in analysis
-            }
+            out[(i, j)] = {n: float(per_layer[n][i, j]) for n in analysis}
         return out
 
 

@@ -11,6 +11,7 @@ from .analysis import (
     overlay_area,
     overlay_map,
     usable_fill_area,
+    window_area_map,
     wire_density_map,
 )
 from .multiwindow import (
@@ -46,6 +47,7 @@ __all__ = [
     "overlay_area",
     "overlay_map",
     "usable_fill_area",
+    "window_area_map",
     "wire_density_map",
     "DensityMetrics",
     "compute_metrics",

@@ -22,6 +22,7 @@ from ..geometry import GridIndex, Rect, RectSet, rect_set_subtract
 from ..layout import DrcRules, Layer, Layout, WindowGrid
 
 __all__ = [
+    "window_area_map",
     "wire_density_map",
     "fill_density_map",
     "metal_density_map",
@@ -83,12 +84,20 @@ def metal_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
     return _to_density(areas, grid)
 
 
+def window_area_map(grid: WindowGrid) -> np.ndarray:
+    """Window areas ``aw(i, j)`` as a ``(cols, rows)`` int64 array.
+
+    The vectorized form of :meth:`WindowGrid.window_area` — the outer
+    product of the column widths and row heights (only the last
+    column/row can differ, by the division remainder).
+    """
+    widths = np.asarray(grid.column_widths(), dtype=np.int64)
+    heights = np.asarray(grid.row_heights(), dtype=np.int64)
+    return np.outer(widths, heights)
+
+
 def _to_density(areas: np.ndarray, grid: WindowGrid) -> np.ndarray:
-    out = np.zeros_like(areas, dtype=np.float64)
-    for i in range(grid.cols):
-        for j in range(grid.rows):
-            out[i, j] = areas[i, j] / grid.window_area(i, j)
-    return out
+    return areas / window_area_map(grid)
 
 
 def compute_fill_regions(

@@ -79,6 +79,18 @@ class WindowGrid:
         """Area ``aw`` of window (i, j) — Table 1."""
         return self.window(i, j).area
 
+    def column_widths(self) -> List[int]:
+        """Width of every window column (the last absorbs the remainder)."""
+        widths = [self._wx] * self.cols
+        widths[-1] = self.die.width - (self.cols - 1) * self._wx
+        return widths
+
+    def row_heights(self) -> List[int]:
+        """Height of every window row (the last absorbs the remainder)."""
+        heights = [self._wy] * self.rows
+        heights[-1] = self.die.height - (self.rows - 1) * self._wy
+        return heights
+
     def __iter__(self) -> Iterator[Tuple[int, int, Rect]]:
         """Iterate ``(i, j, window_rect)`` column-major (Eqn. (1) order)."""
         for i in range(self.cols):

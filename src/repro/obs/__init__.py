@@ -46,8 +46,10 @@ from .spans import (
     Span,
     Tracer,
     active_tracer,
+    adopt,
     annotate,
     count,
+    current_offset,
     current_span,
     set_tracer,
     span,
@@ -75,8 +77,10 @@ __all__ = [
     "Span",
     "Tracer",
     "active_tracer",
+    "adopt",
     "annotate",
     "count",
+    "current_offset",
     "current_span",
     "set_tracer",
     "span",

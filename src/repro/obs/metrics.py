@@ -109,6 +109,10 @@ class Histogram:
         self.total += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        self._sample(v)
+
+    def _sample(self, v: float) -> None:
+        """Admit one value to the bounded sample buffer."""
         if self._skip > 0:
             self._skip -= 1
             return
@@ -117,6 +121,23 @@ class Histogram:
         if len(self._samples) >= self._max_samples:
             self._samples = self._samples[::2]
             self._stride *= 2
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Count, total and extrema combine exactly; the other histogram
+        contributes its (possibly downsampled) sample buffer to this
+        one's, through the same bounded-memory admission path.  Used to
+        merge worker-side registries back into the parent run.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for v in other._samples:
+            self._sample(v)
 
     @property
     def mean(self) -> float:
@@ -192,6 +213,37 @@ class MetricsRegistry:
     def names(self) -> Sequence[str]:
         with self._lock:
             return sorted(self._instruments)
+
+    def instruments(self) -> Dict[str, Instrument]:
+        """The registry's instruments by name (a shallow copy).
+
+        Instruments are plain picklable objects (the lock lives on the
+        registry), so this is the transport form a parallel worker
+        ships back for :meth:`merge_from`.
+        """
+        with self._lock:
+            return dict(self._instruments)
+
+    def merge_from(self, instruments: Dict[str, Instrument]) -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, gauges take the incoming value (last merge wins
+        — callers merge shards in deterministic order), histograms
+        combine via :meth:`Histogram.merge`.  Kind mismatches raise
+        ``TypeError`` exactly as a direct lookup would.
+        """
+        for name in sorted(instruments):
+            inst = instruments[name]
+            if isinstance(inst, Counter):
+                self.counter(name).inc(inst.value)
+            elif isinstance(inst, Gauge):
+                self.gauge(name).set(inst.value)
+            elif isinstance(inst, Histogram):
+                self.histogram(name).merge(inst)
+            else:
+                raise TypeError(
+                    f"cannot merge unknown instrument kind for {name!r}"
+                )
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """JSON-ready state of every instrument, sorted by name."""

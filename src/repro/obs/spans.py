@@ -48,6 +48,8 @@ __all__ = [
     "count",
     "annotate",
     "current_span",
+    "current_offset",
+    "adopt",
 ]
 
 _F = TypeVar("_F", bound=Callable[..., Any])
@@ -245,3 +247,43 @@ def annotate(**attrs: Any) -> None:
     sp = current_span()
     if sp is not None:
         sp.annotate(**attrs)
+
+
+def current_offset() -> float:
+    """Seconds elapsed since the active tracer's epoch.
+
+    The value ``start_offset`` of a span opened right now would get;
+    used to rebase externally captured span trees on adoption.
+    """
+    tracer = active_tracer()
+    return time.perf_counter() - tracer._epoch
+
+
+def adopt(spans: List[Span], *, rebase: bool = True) -> None:
+    """Graft externally captured spans into the active tracer's tree.
+
+    ``spans`` are finished root spans recorded on another tracer —
+    typically in a :mod:`repro.parallel` worker process — whose whole
+    subtrees become children of the innermost open span (or new roots
+    when no span is open).  With ``rebase`` (the default) every
+    ``start_offset`` in the adopted subtrees is shifted by the current
+    tracer offset, so adopted spans sort after everything already
+    recorded instead of clustering at the worker's epoch.
+
+    Callers are responsible for adopting in a deterministic order:
+    the run-record span list follows child order exactly.
+    """
+    base = current_offset() if rebase else 0.0
+    if base:
+        for root in spans:
+            for _, sp in root.walk():
+                sp.start_offset += base
+    parent = current_span()
+    if parent is not None:
+        parent.children.extend(spans)
+        return
+    tracer = active_tracer()
+    with tracer._lock:
+        tracer.roots.extend(spans)
+        if tracer.max_roots is not None and len(tracer.roots) > tracer.max_roots:
+            del tracer.roots[: len(tracer.roots) - tracer.max_roots]

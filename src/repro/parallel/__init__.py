@@ -1,0 +1,47 @@
+"""``repro.parallel`` — window-sharded parallel execution.
+
+The two dominant engine stages — candidate generation (Alg. 1, §3.2)
+and fill sizing (§3.3) — iterate the fixed-dissection windows with no
+cross-window data flow, so they parallelize by *sharding the window
+keys*: split the window list into contiguous chunks, run each chunk on
+a worker, and merge the per-window results back in window order.  This
+package is that execution layer:
+
+* :func:`~repro.parallel.shard.shard_items` — deterministic contiguous
+  sharding of an ordered work list,
+* :func:`~repro.parallel.executor.run_sharded` — run a picklable
+  ``fn(shared, shard)`` over every shard on a process pool (or a
+  thread pool / inline, per the backend), returning shard results in
+  shard order.
+
+Workers capture their own :mod:`repro.obs` spans and metrics on a
+fresh tracer/registry, ship them back with the shard result, and
+:func:`run_sharded` grafts them into the parent span tree
+(:func:`repro.obs.adopt`) and registry
+(:meth:`~repro.obs.MetricsRegistry.merge_from`) in shard order — so
+``stage_seconds``, BENCH records and ``repro trace`` see one
+deterministic tree regardless of worker count.
+
+Determinism contract: for a pure ``fn``, the merged output of
+``workers=N`` is identical for every ``N`` (including the serial
+backend), because shards partition the ordered work list contiguously
+and results merge in shard order.  See ``docs/PERFORMANCE.md``.
+"""
+
+from .executor import (
+    BACKENDS,
+    ParallelConfigError,
+    ShardOutcome,
+    resolve_workers,
+    run_sharded,
+)
+from .shard import shard_items
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfigError",
+    "ShardOutcome",
+    "resolve_workers",
+    "run_sharded",
+    "shard_items",
+]

@@ -1,0 +1,198 @@
+"""Sharded execution with worker-side observability capture.
+
+:func:`run_sharded` is the one entry point: it runs a picklable
+``fn(shared, shard)`` over every shard and returns the results in
+shard order.  Three backends:
+
+* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`;
+  ``shared`` is shipped to each worker **once** (pool initializer), so
+  large read-only state (per-layer wire indexes) is not re-pickled per
+  shard.  Falls back to the serial backend when the pool cannot start
+  (restricted sandboxes without working semaphores).
+* ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor`.
+  Pure-Python shard bodies serialize on the GIL, so this backend is
+  for I/O-bound shard functions and for exercising the merge path
+  without process startup; results are still deterministic.
+* ``"serial"`` — runs shards inline, in order.  Same sharding, same
+  span/metric capture and merge as the pools — the reference the
+  determinism tests compare the pools against.
+
+Every shard executes under a fresh :class:`repro.obs.Tracer` and
+:class:`repro.obs.MetricsRegistry`, wrapped in one ``<label>[k]`` span
+annotated with the shard size.  The captured span roots and the
+registry's instruments travel back with the return value
+(:class:`ShardOutcome`) and are merged into the caller's tracer and
+registry *in shard order* — shard k's spans always precede shard
+k+1's, whichever finished first — so run records stay deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from .. import obs
+from ..obs.metrics import Instrument, MetricsRegistry, set_registry
+from ..obs.spans import Span, Tracer, set_tracer
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfigError",
+    "ShardOutcome",
+    "resolve_workers",
+    "run_sharded",
+]
+
+#: recognised execution backends
+BACKENDS = ("process", "thread", "serial")
+
+ShardFn = Callable[[Any, Sequence[Any]], Any]
+
+
+class ParallelConfigError(ValueError):
+    """A parallel knob names an unknown backend or worker count."""
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's return value plus its captured observability."""
+
+    index: int
+    value: Any
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, Instrument] = field(default_factory=dict)
+
+
+def resolve_workers(workers: int) -> int:
+    """Effective worker count: ``0`` means one per available core."""
+    if workers < 0:
+        raise ParallelConfigError("workers cannot be negative")
+    if workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def _execute(
+    fn: ShardFn,
+    shared: Any,
+    index: int,
+    shard: Sequence[Any],
+    label: str,
+) -> ShardOutcome:
+    """Run one shard under a fresh tracer/registry and capture both."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    restore_tracer = set_tracer(tracer)
+    restore_registry = set_registry(registry)
+    try:
+        with obs.span(f"{label}[{index}]") as sp:
+            sp.annotate(shard=index, items=len(shard))
+            value = fn(shared, shard)
+    finally:
+        restore_registry()
+        restore_tracer()
+    return ShardOutcome(index, value, tracer.roots, registry.instruments())
+
+
+# -- process backend ---------------------------------------------------
+# The pool initializer parks (fn, shared) in a module global so each
+# worker unpickles the shared state once, not once per shard.
+_WORKER_FN: ShardFn = None  # type: ignore[assignment]
+_WORKER_SHARED: Any = None
+
+
+def _init_worker(fn: ShardFn, shared: Any) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = shared
+
+
+def _run_in_worker(task: Tuple[int, Sequence[Any], str]) -> ShardOutcome:
+    index, shard, label = task
+    return _execute(_WORKER_FN, _WORKER_SHARED, index, shard, label)
+
+
+def _map_process(
+    fn: ShardFn,
+    shared: Any,
+    shards: Sequence[Sequence[Any]],
+    workers: int,
+    label: str,
+) -> List[ShardOutcome]:
+    tasks = [(k, shard, label) for k, shard in enumerate(shards)]
+    context = multiprocessing.get_context()
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(shards)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(fn, shared),
+    ) as pool:
+        return list(pool.map(_run_in_worker, tasks))
+
+
+def _map_thread(
+    fn: ShardFn,
+    shared: Any,
+    shards: Sequence[Sequence[Any]],
+    workers: int,
+    label: str,
+) -> List[ShardOutcome]:
+    with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+        return list(
+            pool.map(
+                lambda task: _execute(fn, shared, task[0], task[1], label),
+                [(k, shard) for k, shard in enumerate(shards)],
+            )
+        )
+
+
+def run_sharded(
+    fn: ShardFn,
+    shared: Any,
+    shards: Sequence[Sequence[Any]],
+    *,
+    workers: int,
+    backend: str = "process",
+    label: str = "shard",
+) -> List[Any]:
+    """Run ``fn(shared, shard)`` over every shard; results in shard order.
+
+    ``fn`` must be a module-level (picklable) callable and ``shared``
+    read-only picklable state for the process backend.  Worker spans
+    and metrics are merged into the caller's active tracer/registry in
+    shard order before returning.  ``workers`` is the resolved count
+    (see :func:`resolve_workers`); the pool size never exceeds the
+    shard count.
+    """
+    if backend not in BACKENDS:
+        raise ParallelConfigError(
+            f"unknown parallel backend {backend!r} (expected one of {BACKENDS})"
+        )
+    if not shards:
+        return []
+    workers = resolve_workers(workers)
+    if backend == "process" and workers > 1:
+        try:
+            outcomes = _map_process(fn, shared, shards, workers, label)
+        except (OSError, PermissionError):
+            # Sandboxes without working POSIX semaphores / fork: degrade
+            # to in-process execution rather than failing the run.
+            outcomes = [
+                _execute(fn, shared, k, shard, label)
+                for k, shard in enumerate(shards)
+            ]
+    elif backend == "thread" and workers > 1:
+        outcomes = _map_thread(fn, shared, shards, workers, label)
+    else:
+        outcomes = [
+            _execute(fn, shared, k, shard, label)
+            for k, shard in enumerate(shards)
+        ]
+    registry = obs.active_registry()
+    for outcome in outcomes:  # shard order == merge order
+        obs.adopt(outcome.spans)
+        registry.merge_from(outcome.metrics)
+    return [outcome.value for outcome in outcomes]

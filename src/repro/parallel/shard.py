@@ -1,0 +1,40 @@
+"""Deterministic sharding of an ordered work list.
+
+The engine's work lists are window keys in grid order (column-major,
+the Eqn. (1) order).  Shards must be *contiguous* slices of that
+order: concatenating the shard results then equals the serial result
+exactly, which is what makes ``workers=N`` bit-identical to
+``workers=1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+__all__ = ["shard_items"]
+
+T = TypeVar("T")
+
+
+def shard_items(items: Sequence[T], num_shards: int) -> List[List[T]]:
+    """Split ``items`` into at most ``num_shards`` contiguous chunks.
+
+    Chunk sizes differ by at most one (the first ``len % num_shards``
+    chunks get the extra item), chunks preserve the input order, and
+    their concatenation is exactly ``items``.  Empty chunks are never
+    returned: fewer items than shards yields one chunk per item.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    n = len(items)
+    if n == 0:
+        return []
+    shards = min(num_shards, n)
+    base, extra = divmod(n, shards)
+    out: List[List[T]] = []
+    start = 0
+    for k in range(shards):
+        size = base + (1 if k < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out

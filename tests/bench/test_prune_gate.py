@@ -1,0 +1,168 @@
+"""Tests for trajectory pruning and per-stage gate attribution."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.tracker import (
+    BenchRecord,
+    TrajectoryError,
+    append_record,
+    format_gate,
+    gate_records,
+    load_trajectory,
+    prune_records,
+    prune_trajectory,
+)
+
+_SCORE_KEYS = ("score", "quality", "overlay", "variation", "line", "outlier", "size")
+
+
+def make_record(config_hash="cfg-a", seconds=1.0, stage_seconds=None, tag="r"):
+    return BenchRecord(
+        bench="smoke",
+        git_sha="deadbeef",
+        created_at=f"2026-01-01T00:00:00Z-{tag}",
+        config={"hash": config_hash},
+        config_hash=config_hash,
+        scores={k: 0.9 for k in _SCORE_KEYS},
+        raw={},
+        stage_seconds=dict(
+            stage_seconds
+            if stage_seconds is not None
+            else {"candidates": 0.3, "sizing": 0.5}
+        ),
+        seconds=seconds,
+        peak_rss_mb=32.0,
+        num_fills=100,
+        gds_bytes=50000,
+        label=tag,
+    )
+
+
+class TestPruneRecords:
+    def test_keeps_newest_per_config_hash(self):
+        records = [
+            make_record("a", tag="a1"),
+            make_record("b", tag="b1"),
+            make_record("a", tag="a2"),
+            make_record("b", tag="b2"),
+            make_record("a", tag="a3"),
+        ]
+        pruned = prune_records(records, keep=1)
+        assert [r.label for r in pruned] == ["b2", "a3"]
+
+    def test_keep_two_preserves_order(self):
+        records = [make_record("a", tag=f"a{i}") for i in range(5)]
+        pruned = prune_records(records, keep=2)
+        assert [r.label for r in pruned] == ["a3", "a4"]
+
+    def test_keep_larger_than_length_is_noop(self):
+        records = [make_record("a", tag="a0"), make_record("b", tag="b0")]
+        assert prune_records(records, keep=10) == records
+
+    def test_keep_below_one_rejected(self):
+        with pytest.raises(TrajectoryError):
+            prune_records([make_record()], keep=0)
+
+
+class TestPruneTrajectory:
+    def test_prunes_file_in_place(self, tmp_path):
+        path = tmp_path / "BENCH_smoke.json"
+        for i in range(4):
+            append_record(path, make_record("a", tag=f"a{i}"))
+        append_record(path, make_record("b", tag="b0"))
+        kept, removed = prune_trajectory(path, keep=1)
+        assert (kept, removed) == (2, 3)
+        labels = [r.label for r in load_trajectory(path)]
+        assert labels == ["a3", "b0"]
+
+    def test_cli_prune(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_smoke.json"
+        for i in range(3):
+            append_record(path, make_record("a", tag=f"a{i}"))
+        assert bench_main(["prune", str(path), "--keep", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1 record(s), removed 2" in out
+        assert len(load_trajectory(path)) == 1
+
+    def test_cli_prune_missing_file(self, tmp_path, capsys):
+        assert bench_main(["prune", str(tmp_path / "nope.json"), "--keep", "1"]) == 2
+
+
+class TestStageAttribution:
+    def test_stage_deltas_sorted_by_slowdown(self):
+        base = make_record(stage_seconds={"candidates": 0.3, "sizing": 0.5})
+        cur = make_record(stage_seconds={"candidates": 0.35, "sizing": 1.5})
+        result = gate_records(base, cur)
+        assert [d.stage for d in result.stage_deltas[:2]] == ["sizing", "candidates"]
+        sizing = result.stage_deltas[0]
+        assert sizing.delta == pytest.approx(1.0)
+        assert not sizing.regressed  # attribution only without a threshold
+
+    def test_stage_threshold_gates(self):
+        base = make_record(seconds=1.0, stage_seconds={"sizing": 0.5})
+        cur = make_record(seconds=1.2, stage_seconds={"sizing": 1.0})
+        result = gate_records(base, cur, {"stage.sizing": 0.4})
+        assert result.regressed
+        assert [d.stage for d in result.stage_regressions] == ["sizing"]
+        assert "stage.sizing" in format_gate(result)
+
+    def test_attribution_printed_when_seconds_regresses(self):
+        base = make_record(seconds=1.0, stage_seconds={"sizing": 0.5})
+        cur = make_record(seconds=2.0, stage_seconds={"sizing": 1.5})
+        result = gate_records(base, cur, {"seconds": 0.5})
+        assert result.regressed
+        text = format_gate(result)
+        assert "runtime attribution" in text
+        assert "sizing" in text
+
+    def test_attribution_hidden_when_nothing_regressed(self):
+        base = make_record(seconds=1.0)
+        cur = make_record(seconds=1.01)
+        text = format_gate(gate_records(base, cur))
+        assert "runtime attribution" not in text
+
+    def test_stage_deltas_in_json(self):
+        base = make_record(stage_seconds={"sizing": 0.5})
+        cur = make_record(stage_seconds={"sizing": 0.6})
+        payload = gate_records(base, cur).to_dict()
+        assert payload["stage_deltas"][0]["stage"] == "sizing"
+
+    def test_unknown_stage_key_rejected(self):
+        base, cur = make_record(), make_record()
+        with pytest.raises(TrajectoryError):
+            gate_records(base, cur, {"stage.nonexistent-stage": 0.1})
+
+    def test_missing_stage_treated_as_zero(self):
+        base = make_record(stage_seconds={"sizing": 0.5})
+        cur = make_record(stage_seconds={"sizing": 0.5, "extra": 0.2})
+        result = gate_records(base, cur)
+        extra = [d for d in result.stage_deltas if d.stage == "extra"][0]
+        assert extra.baseline == 0.0
+        assert extra.delta == pytest.approx(0.2)
+
+    def test_cli_gate_stage_threshold(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_smoke.json"
+        append_record(path, make_record(stage_seconds={"sizing": 0.5}))
+        append_record(path, make_record(stage_seconds={"sizing": 2.0}))
+        code = bench_main(
+            ["gate", str(path), "--threshold", "stage.sizing=0.5"]
+        )
+        assert code == 1
+        assert "REGRESSION: stage.sizing" in capsys.readouterr().out
+
+
+class TestWorkersInConfigHash:
+    def test_workers_change_changes_config_hash(self):
+        from dataclasses import asdict
+
+        from repro.bench.tracker import _config_digest
+        from repro.core import FillConfig
+
+        base = {**asdict(FillConfig(workers=1)), "windows": [4, 4], "bench": "smoke"}
+        par = {**asdict(FillConfig(workers=4)), "windows": [4, 4], "bench": "smoke"}
+        assert base["workers"] == 1 and par["workers"] == 4
+        assert _config_digest(base) != _config_digest(par)

@@ -1,0 +1,227 @@
+"""Determinism tests for the window-sharded parallel pipeline.
+
+The contract under test (see ``docs/PERFORMANCE.md``): for any worker
+count and any backend, the engine produces *bit-identical* output —
+same fills in the same order, same ScoreCard, same stage tree shape —
+as the serial ``workers=1`` run.  Sharding is over window keys in grid
+iteration order and results merge in shard order, so parallelism can
+only change wall clock, never bytes.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.bench.suite import calibrate_weights
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import score_layout
+from repro.eco import apply_eco
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+from repro.parallel import (
+    BACKENDS,
+    ParallelConfigError,
+    resolve_workers,
+    run_sharded,
+    shard_items,
+)
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def demo_layout(num_layers=3, seed=11, die=1200, windows=3):
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, die, die), num_layers=num_layers, rules=RULES)
+    for n in layout.layer_numbers:
+        for _ in range(40):
+            x, y = rng.randrange(0, die - 100), rng.randrange(0, die - 50)
+            w, h = rng.randrange(30, 120), rng.randrange(15, 40)
+            layout.layer(n).add_wire(Rect(x, y, min(die, x + w), min(die, y + h)))
+    return layout, WindowGrid(layout.die, windows, windows)
+
+
+def fills_by_layer(layout):
+    return {n: list(layout.layer(n).fills) for n in layout.layer_numbers}
+
+
+def run_filled(config, seed=11):
+    layout, grid = demo_layout(seed=seed)
+    report = DummyFillEngine(config).run(layout, grid)
+    return layout, grid, report
+
+
+class TestShardItems:
+    def test_partition_preserves_order(self):
+        items = list(range(10))
+        shards = shard_items(items, 3)
+        assert [x for shard in shards for x in shard] == items
+
+    def test_balanced_sizes(self):
+        sizes = [len(s) for s in shard_items(list(range(10)), 3)]
+        assert sizes == [4, 3, 3]
+
+    def test_more_shards_than_items(self):
+        shards = shard_items([1, 2], 5)
+        assert shards == [[1], [2]]
+
+    def test_empty(self):
+        assert shard_items([], 4) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            shard_items([1], 0)
+
+
+class TestResolveWorkers:
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelConfigError):
+            resolve_workers(-1)
+
+
+def _double_shard(shared, shard):
+    obs.metrics.counter("double.items").inc(len(shard))
+    with obs.span("double.inner"):
+        return [shared * x for x in shard]
+
+
+class TestRunSharded:
+    def test_results_in_shard_order(self):
+        shards = shard_items(list(range(8)), 3)
+        out = run_sharded(
+            _double_shard, 10, shards, workers=3, backend="serial"
+        )
+        assert [x for vals in out for x in vals] == [10 * x for x in range(8)]
+
+    def test_unknown_backend(self):
+        with pytest.raises(ParallelConfigError):
+            run_sharded(_double_shard, 1, [[1]], workers=2, backend="magic")
+
+    def test_empty_shards(self):
+        assert run_sharded(_double_shard, 1, [], workers=4) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_spans_and_metrics_merged_in_shard_order(self, backend):
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        restore_t = obs.set_tracer(tracer)
+        restore_r = obs.set_registry(registry)
+        try:
+            with obs.span("outer"):
+                run_sharded(
+                    _double_shard,
+                    2,
+                    shard_items(list(range(6)), 3),
+                    workers=3,
+                    backend=backend,
+                    label="double.shard",
+                )
+            (outer,) = tracer.roots
+            names = [child.name for child in outer.children]
+            assert names == ["double.shard[0]", "double.shard[1]", "double.shard[2]"]
+            assert all(
+                child.children and child.children[0].name == "double.inner"
+                for child in outer.children
+            )
+            assert registry.counter("double.items").value == 6
+        finally:
+            restore_r()
+            restore_t()
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_filled(FillConfig(workers=1))
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fills_identical_across_backends(self, serial_run, backend):
+        base_layout, _, base_report = serial_run
+        layout, _, report = run_filled(FillConfig(workers=4, parallel=backend))
+        assert fills_by_layer(layout) == fills_by_layer(base_layout)
+        assert report.num_fills == base_report.num_fills
+        assert report.num_candidates == base_report.num_candidates
+
+    def test_scorecard_identical(self, serial_run):
+        base_layout, base_grid, _ = serial_run
+        layout, grid, _ = run_filled(FillConfig(workers=4))
+        reference, ref_grid = demo_layout()
+        weights = calibrate_weights(reference, ref_grid, 60.0, 1024.0)
+        base_card = score_layout(base_layout, base_grid, weights)
+        card = score_layout(layout, grid, weights)
+        assert card.as_row() == base_card.as_row()
+
+    def test_stage_tree_shape_unchanged(self, serial_run):
+        _, _, base_report = serial_run
+        _, _, report = run_filled(FillConfig(workers=4))
+        assert set(report.stage_seconds) == set(base_report.stage_seconds)
+
+    def test_shard_spans_grafted_under_stage_spans(self):
+        tracer = obs.Tracer()
+        restore = obs.set_tracer(tracer)
+        try:
+            run_filled(FillConfig(workers=2, parallel="serial"))
+        finally:
+            restore()
+        (run_root,) = [r for r in tracer.roots if r.name == "engine.run"]
+        stages = {c.name: c for c in run_root.children}
+        cand_children = [c.name for c in stages["candidates"].children]
+        sizing_children = [c.name for c in stages["sizing"].children]
+        assert cand_children == ["candidates.shard[0]", "candidates.shard[1]"]
+        assert sizing_children == ["sizing.shard[0]", "sizing.shard[1]"]
+        for child in stages["candidates"].children + stages["sizing"].children:
+            assert child.start_offset >= run_root.start_offset
+
+    def test_worker_counters_survive_merge(self):
+        registry = obs.MetricsRegistry()
+        restore = obs.set_registry(registry)
+        try:
+            _, grid, _ = run_filled(FillConfig(workers=3, parallel="serial"))
+        finally:
+            restore()
+        assert registry.counter("candidates.windows").value == grid.num_windows
+
+    def test_workers_zero_uses_cores_and_stays_identical(self, serial_run):
+        base_layout, _, _ = serial_run
+        layout, _, _ = run_filled(FillConfig(workers=0))
+        assert fills_by_layer(layout) == fills_by_layer(base_layout)
+
+
+class TestEcoDeterminism:
+    def _filled(self, workers, backend="serial"):
+        layout, grid = demo_layout(num_layers=2, seed=9, windows=4)
+        config = FillConfig(workers=workers, parallel=backend)
+        DummyFillEngine(config).run(layout, grid)
+        apply_eco(
+            layout, grid, {1: [Rect(320, 320, 420, 360)]}, config=config
+        )
+        return layout
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_window_restricted_refill_identical(self, backend):
+        base = self._filled(workers=1)
+        par = self._filled(workers=4, backend=backend)
+        assert fills_by_layer(par) == fills_by_layer(base)
+
+
+class TestConfigValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(workers=-1)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            FillConfig(parallel="gpu")
+
+    def test_effective_workers(self):
+        assert FillConfig(workers=5).effective_workers() == 5
+        assert FillConfig(workers=0).effective_workers() >= 1

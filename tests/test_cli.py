@@ -30,6 +30,14 @@ class TestParser:
         assert args.eta == 0.2
         assert args.solver == "mcf-ssp"
         assert args.windows == 8
+        assert args.workers == 1
+        assert args.parallel == "process"
+
+    def test_fill_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fill", "a.gds", "b.gds", "--parallel", "gpu"]
+            )
 
 
 class TestGenerate:
@@ -64,6 +72,26 @@ class TestFill:
         filled = layout_from_gdsii(out_path.read_bytes())
         assert filled.num_fills > 0
         assert "fills=" in capsys.readouterr().out
+
+    def test_fill_workers_bit_identical_output(self, demo_gds, tmp_path):
+        serial = tmp_path / "serial.gds"
+        parallel = tmp_path / "parallel.gds"
+        assert main(["fill", str(demo_gds), str(serial), "--windows", "4"]) == 0
+        assert (
+            main(
+                [
+                    "fill",
+                    str(demo_gds),
+                    str(parallel),
+                    "--windows",
+                    "4",
+                    "--workers",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert parallel.read_bytes() == serial.read_bytes()
 
     def test_fill_solver_choice(self, demo_gds, tmp_path):
         out_path = tmp_path / "filled.gds"
