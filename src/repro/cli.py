@@ -129,8 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="parallel workers for the window-sharded stages "
-        "(1 = serial, 0 = one per core; output is identical for any N)",
+        help="parallel workers for the sharded engine stages — density "
+        "analysis (per layer), candidate generation and sizing (per "
+        "window) (1 = serial, 0 = one per core; output is identical "
+        "for any N)",
     )
     fill.add_argument(
         "--parallel",

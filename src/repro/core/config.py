@@ -63,12 +63,13 @@ class FillConfig:
         inside it (Alg. 1 Case I).  Disable to measure the overlay cost
         of ignoring the neighbour layers during candidate generation.
     workers:
-        Worker count for the window-sharded stages (candidate
-        generation and sizing, which are window-independent by
-        construction).  ``1`` (the default) runs serially and is
-        bit-identical to the pre-parallel engine; ``0`` means one
-        worker per available core; any ``N > 1`` shards the window
-        list over ``N`` workers and merges deterministically, so the
+        Worker count for the sharded engine stages: density analysis
+        (sharded over layers, which are independent by construction)
+        and candidate generation and sizing (sharded over windows,
+        likewise independent).  ``1`` (the default) runs serially and
+        is bit-identical to the pre-parallel engine; ``0`` means one
+        worker per available core; any ``N > 1`` shards the work list
+        over ``N`` workers and merges deterministically, so the
         output is identical for every worker count.
     parallel:
         Execution backend used when ``workers != 1``: ``"process"``
@@ -126,9 +127,13 @@ class FillConfig:
         return max(2, min(max_fill_width, max_fill_height) // 4)
 
     def effective_workers(self) -> int:
-        """Resolved worker count: ``0`` maps to one per available core."""
-        if self.workers == 0:
-            import os
+        """Resolved worker count: ``0`` maps to one per available core.
 
-            return max(1, os.cpu_count() or 1)
-        return self.workers
+        Delegates to :func:`repro.parallel.resolve_workers` so the
+        config, CLI, and executor share one resolution rule (imported
+        lazily: this module must stay importable without pulling in the
+        execution layer).
+        """
+        from ..parallel import resolve_workers
+
+        return resolve_workers(self.workers)

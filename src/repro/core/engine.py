@@ -107,7 +107,13 @@ class DummyFillEngine:
         with obs.span("engine.run") as run_span:
             with obs.span("analysis"):
                 margin = config.effective_margin(layout.rules.min_spacing)
-                analysis = analyze_layout(layout, grid, window_margin=margin)
+                analysis = analyze_layout(
+                    layout,
+                    grid,
+                    window_margin=margin,
+                    workers=config.effective_workers(),
+                    parallel=config.parallel,
+                )
                 obs.count("engine.layers", len(analysis))
                 obs.count("engine.windows", grid.num_windows)
 

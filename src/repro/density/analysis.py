@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..contracts import check_density
 from ..geometry import GridIndex, Rect, RectSet, rect_set_subtract
 from ..layout import DrcRules, Layer, Layout, WindowGrid
@@ -197,14 +198,76 @@ def analyze_layer(
     return LayerDensity(layer.number, lower, upper, regions)
 
 
+@dataclass(frozen=True)
+class _AnalysisShared:
+    """Read-only inputs every layer of an analysis run shares.
+
+    Built once per :func:`analyze_layout` call and shipped to parallel
+    workers once per worker (pool initializer), so the grid and DRC
+    rules are pickled exactly once; the layers themselves are the
+    shard items.
+    """
+
+    grid: WindowGrid
+    rules: DrcRules
+    window_margin: int
+
+
+def _analyze_shard(
+    shared: _AnalysisShared, layers: Sequence[Layer]
+) -> List[LayerDensity]:
+    """Worker entry point: density analysis over one shard of layers."""
+    out: List[LayerDensity] = []
+    for layer in layers:
+        out.append(
+            analyze_layer(layer, shared.grid, shared.rules, shared.window_margin)
+        )
+        obs.metrics.counter("analysis.layers").inc()
+    return out
+
+
 def analyze_layout(
-    layout: Layout, grid: WindowGrid, window_margin: int = 0
+    layout: Layout,
+    grid: WindowGrid,
+    window_margin: int = 0,
+    *,
+    workers: int = 1,
+    parallel: str = "process",
 ) -> Dict[int, LayerDensity]:
-    """Density analysis for every layer of a layout."""
-    return {
-        layer.number: analyze_layer(layer, grid, layout.rules, window_margin)
-        for layer in layout.layers
-    }
+    """Density analysis for every layer of a layout.
+
+    Layers are independent by construction — each window's ``l(i, j)``
+    and ``u(i, j)`` read only that layer's wires — so with
+    ``workers != 1`` the layer list is sharded contiguously in layer
+    order and the shards run on the :mod:`repro.parallel` backend
+    named by ``parallel``; per-layer results (and worker
+    spans/metrics) merge in shard order, so the returned
+    ``{layer_number: LayerDensity}`` dict is bit-identical to the
+    serial run for any worker count and backend.  ``workers=0`` means
+    one worker per available core.
+    """
+    shared = _AnalysisShared(grid=grid, rules=layout.rules, window_margin=window_margin)
+    layers = list(layout.layers)
+    from ..parallel import resolve_workers, run_sharded, shard_items
+
+    workers = resolve_workers(workers)
+    if workers == 1 or len(layers) <= 1:
+        densities = _analyze_shard(shared, layers)
+    else:
+        shards = shard_items(layers, workers)
+        densities = [
+            ld
+            for shard_densities in run_sharded(
+                _analyze_shard,
+                shared,
+                shards,
+                workers=workers,
+                backend=parallel,
+                label="analysis.shard",
+            )
+            for ld in shard_densities
+        ]
+    return {ld.layer_number: ld for ld in densities}
 
 
 def overlay_area(lower: Layer, upper: Layer) -> int:

@@ -32,6 +32,7 @@ thread-local, so concurrent runs do not interleave their trees.
 
 from __future__ import annotations
 
+import copy
 import functools
 import threading
 import time
@@ -270,20 +271,27 @@ def adopt(spans: List[Span], *, rebase: bool = True) -> None:
     tracer offset, so adopted spans sort after everything already
     recorded instead of clustering at the worker's epoch.
 
+    The subtrees are *copied* before rebasing: the caller's span
+    objects are never mutated, so adopting the same list twice (a
+    retried merge) rebases each graft from the pristine offsets
+    instead of double-shifting them, and the grafted copies never
+    alias spans the caller may still hold.
+
     Callers are responsible for adopting in a deterministic order:
     the run-record span list follows child order exactly.
     """
+    grafted = [copy.deepcopy(root) for root in spans]
     base = current_offset() if rebase else 0.0
     if base:
-        for root in spans:
+        for root in grafted:
             for _, sp in root.walk():
                 sp.start_offset += base
     parent = current_span()
     if parent is not None:
-        parent.children.extend(spans)
+        parent.children.extend(grafted)
         return
     tracer = active_tracer()
     with tracer._lock:
-        tracer.roots.extend(spans)
+        tracer.roots.extend(grafted)
         if tracer.max_roots is not None and len(tracer.roots) > tracer.max_roots:
             del tracer.roots[: len(tracer.roots) - tracer.max_roots]

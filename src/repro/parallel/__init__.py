@@ -1,11 +1,13 @@
-"""``repro.parallel`` — window-sharded parallel execution.
+"""``repro.parallel`` — sharded parallel execution.
 
-The two dominant engine stages — candidate generation (Alg. 1, §3.2)
-and fill sizing (§3.3) — iterate the fixed-dissection windows with no
-cross-window data flow, so they parallelize by *sharding the window
-keys*: split the window list into contiguous chunks, run each chunk on
-a worker, and merge the per-window results back in window order.  This
-package is that execution layer:
+The engine's heavy stages are embarrassingly parallel over an ordered
+work list: candidate generation (Alg. 1, §3.2) and fill sizing (§3.3)
+iterate the fixed-dissection windows with no cross-window data flow,
+and density analysis (§3.1 preliminaries) is per-layer independent.
+They all parallelize the same way — *shard the ordered work list*
+(window keys in grid order, layers in layer order): split it into
+contiguous chunks, run each chunk on a worker, and merge the per-item
+results back in list order.  This package is that execution layer:
 
 * :func:`~repro.parallel.shard.shard_items` — deterministic contiguous
   sharding of an ordered work list,

@@ -115,22 +115,31 @@ def _run_in_worker(task: Tuple[int, Sequence[Any], str]) -> ShardOutcome:
     return _execute(_WORKER_FN, _WORKER_SHARED, index, shard, label)
 
 
-def _map_process(
-    fn: ShardFn,
-    shared: Any,
-    shards: Sequence[Sequence[Any]],
-    workers: int,
-    label: str,
-) -> List[ShardOutcome]:
-    tasks = [(k, shard, label) for k, shard in enumerate(shards)]
+def _start_pool(fn: ShardFn, shared: Any, workers: int) -> ProcessPoolExecutor:
+    """Construct the process pool (the only step allowed to fall back).
+
+    Pool construction is where restricted sandboxes fail — creating the
+    call/result queues needs working POSIX semaphores — so it is kept
+    separate from running the shards: a failure *here* degrades to the
+    serial backend, a failure inside a shard fn is a genuine error and
+    propagates.
+    """
     context = multiprocessing.get_context()
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(shards)),
+    return ProcessPoolExecutor(
+        max_workers=workers,
         mp_context=context,
         initializer=_init_worker,
         initargs=(fn, shared),
-    ) as pool:
-        return list(pool.map(_run_in_worker, tasks))
+    )
+
+
+def _map_serial(
+    fn: ShardFn,
+    shared: Any,
+    shards: Sequence[Sequence[Any]],
+    label: str,
+) -> List[ShardOutcome]:
+    return [_execute(fn, shared, k, shard, label) for k, shard in enumerate(shards)]
 
 
 def _map_thread(
@@ -175,22 +184,24 @@ def run_sharded(
         return []
     workers = resolve_workers(workers)
     if backend == "process" and workers > 1:
+        pool = None
         try:
-            outcomes = _map_process(fn, shared, shards, workers, label)
+            pool = _start_pool(fn, shared, min(workers, len(shards)))
         except (OSError, PermissionError):
             # Sandboxes without working POSIX semaphores / fork: degrade
-            # to in-process execution rather than failing the run.
-            outcomes = [
-                _execute(fn, shared, k, shard, label)
-                for k, shard in enumerate(shards)
-            ]
+            # to in-process execution rather than failing the run.  Only
+            # pool *startup* may fall back — an exception raised by the
+            # shard fn itself must propagate, not silently re-run every
+            # shard serially and mask the original failure.
+            outcomes = _map_serial(fn, shared, shards, label)
+        if pool is not None:
+            tasks = [(k, shard, label) for k, shard in enumerate(shards)]
+            with pool:
+                outcomes = list(pool.map(_run_in_worker, tasks))
     elif backend == "thread" and workers > 1:
         outcomes = _map_thread(fn, shared, shards, workers, label)
     else:
-        outcomes = [
-            _execute(fn, shared, k, shard, label)
-            for k, shard in enumerate(shards)
-        ]
+        outcomes = _map_serial(fn, shared, shards, label)
     registry = obs.active_registry()
     for outcome in outcomes:  # shard order == merge order
         obs.adopt(outcome.spans)

@@ -1,0 +1,37 @@
+"""Shared test configuration for the suite.
+
+``REPRO_TEST_BACKEND`` (used by the CI process-pool pass) narrows the
+backend-parametrized parallel suites to a single backend.  When it
+names ``process``, an autouse fixture additionally turns the
+executor's pool-startup fallback into a hard test failure: the point
+of that CI pass is to exercise the *real* process pool, so silently
+degrading to the serial path would make the pass vacuous.
+"""
+
+import os
+
+import pytest
+
+FORCED_BACKEND = os.environ.get("REPRO_TEST_BACKEND")
+
+
+@pytest.fixture(autouse=True)
+def _no_silent_pool_fallback(monkeypatch):
+    if FORCED_BACKEND != "process":
+        yield
+        return
+    from repro.parallel import executor
+
+    real_start = executor._start_pool
+
+    def strict_start(fn, shared, workers):
+        try:
+            return real_start(fn, shared, workers)
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.fail(
+                "process pool failed to start under "
+                f"REPRO_TEST_BACKEND=process: {exc!r}"
+            )
+
+    monkeypatch.setattr(executor, "_start_pool", strict_start)
+    yield

@@ -8,6 +8,8 @@ iteration order and results merge in shard order, so parallelism can
 only change wall clock, never bytes.
 """
 
+import multiprocessing
+import os
 import random
 
 import pytest
@@ -25,6 +27,14 @@ from repro.parallel import (
     resolve_workers,
     run_sharded,
     shard_items,
+)
+
+#: REPRO_TEST_BACKEND narrows the parametrized suites to one backend
+#: (the CI process-pool pass sets it to "process").
+TEST_BACKENDS = (
+    (os.environ["REPRO_TEST_BACKEND"],)
+    if "REPRO_TEST_BACKEND" in os.environ
+    else BACKENDS
 )
 
 RULES = DrcRules(
@@ -108,7 +118,7 @@ class TestRunSharded:
     def test_empty_shards(self):
         assert run_sharded(_double_shard, 1, [], workers=4) == []
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
     def test_spans_and_metrics_merged_in_shard_order(self, backend):
         tracer = obs.Tracer()
         registry = obs.MetricsRegistry()
@@ -137,13 +147,76 @@ class TestRunSharded:
             restore_t()
 
 
+def _raise_oserror(shared, shard):
+    raise OSError("shard exploded")
+
+
+def _raise_in_worker_only(shared, shard):
+    if multiprocessing.parent_process() is not None:
+        raise OSError("worker-only failure")
+    return list(shard)
+
+
+def _process_pool_works():
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(int, 1).result() == 1
+    except (OSError, PermissionError):
+        return False
+
+
+class TestShardErrorPropagation:
+    """A shard fn's own errors must propagate, never trigger the
+    silent serial re-execution reserved for pool *startup* failures."""
+
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
+    def test_shard_fn_oserror_propagates(self, backend):
+        with pytest.raises(OSError, match="shard exploded"):
+            run_sharded(
+                _raise_oserror, None, [[1], [2]], workers=2, backend=backend
+            )
+
+    def test_worker_error_not_masked_by_serial_rerun(self):
+        # The fn fails only inside a pool worker and would succeed if
+        # re-run in the parent — the old fallback swallowed the worker
+        # OSError and returned the parent's results as if nothing broke.
+        if not _process_pool_works():
+            pytest.skip("process pools unavailable in this sandbox")
+        with pytest.raises(OSError, match="worker-only failure"):
+            run_sharded(
+                _raise_in_worker_only,
+                None,
+                [[1], [2]],
+                workers=2,
+                backend="process",
+            )
+
+    def test_pool_startup_failure_still_falls_back(self, monkeypatch):
+        from repro.parallel import executor
+
+        def broken_start(fn, shared, workers):
+            raise OSError("no semaphores")
+
+        monkeypatch.setattr(executor, "_start_pool", broken_start)
+        out = run_sharded(
+            _double_shard,
+            10,
+            shard_items(list(range(4)), 2),
+            workers=2,
+            backend="process",
+        )
+        assert [x for vals in out for x in vals] == [10 * x for x in range(4)]
+
+
 @pytest.fixture(scope="module")
 def serial_run():
     return run_filled(FillConfig(workers=1))
 
 
 class TestEngineDeterminism:
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
     def test_fills_identical_across_backends(self, serial_run, backend):
         base_layout, _, base_report = serial_run
         layout, _, report = run_filled(FillConfig(workers=4, parallel=backend))
@@ -174,21 +247,28 @@ class TestEngineDeterminism:
             restore()
         (run_root,) = [r for r in tracer.roots if r.name == "engine.run"]
         stages = {c.name: c for c in run_root.children}
+        analysis_children = [c.name for c in stages["analysis"].children]
         cand_children = [c.name for c in stages["candidates"].children]
         sizing_children = [c.name for c in stages["sizing"].children]
+        assert analysis_children == ["analysis.shard[0]", "analysis.shard[1]"]
         assert cand_children == ["candidates.shard[0]", "candidates.shard[1]"]
         assert sizing_children == ["sizing.shard[0]", "sizing.shard[1]"]
-        for child in stages["candidates"].children + stages["sizing"].children:
+        for child in (
+            stages["analysis"].children
+            + stages["candidates"].children
+            + stages["sizing"].children
+        ):
             assert child.start_offset >= run_root.start_offset
 
     def test_worker_counters_survive_merge(self):
         registry = obs.MetricsRegistry()
         restore = obs.set_registry(registry)
         try:
-            _, grid, _ = run_filled(FillConfig(workers=3, parallel="serial"))
+            layout, grid, _ = run_filled(FillConfig(workers=3, parallel="serial"))
         finally:
             restore()
         assert registry.counter("candidates.windows").value == grid.num_windows
+        assert registry.counter("analysis.layers").value == layout.num_layers
 
     def test_workers_zero_uses_cores_and_stays_identical(self, serial_run):
         base_layout, _, _ = serial_run
@@ -206,7 +286,7 @@ class TestEcoDeterminism:
         )
         return layout
 
-    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
     def test_window_restricted_refill_identical(self, backend):
         base = self._filled(workers=1)
         par = self._filled(workers=4, backend=backend)

@@ -1,0 +1,132 @@
+"""Parity tests for layer-sharded density analysis.
+
+The contract (see ``docs/PERFORMANCE.md``): ``analyze_layout(...,
+workers=N)`` is *bit-identical* to the serial run for every worker
+count and backend — same layer key order, equal ``lower``/``upper``
+arrays down to the bit, equal per-window fill regions — because layers
+shard contiguously in layer order and per-layer results merge in shard
+order.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import DummyFillEngine, FillConfig
+from repro.density import analyze_layout
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+from repro.parallel import BACKENDS
+
+#: REPRO_TEST_BACKEND narrows the parametrized suites to one backend
+#: (the CI process-pool pass sets it to "process").
+TEST_BACKENDS = (
+    (os.environ["REPRO_TEST_BACKEND"],)
+    if "REPRO_TEST_BACKEND" in os.environ
+    else BACKENDS
+)
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+
+def wired_layout(num_layers=4, seed=5, die=1200, windows=3, empty_layers=()):
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, die, die), num_layers=num_layers, rules=RULES)
+    for n in layout.layer_numbers:
+        if n in empty_layers:
+            continue
+        for _ in range(50):
+            x, y = rng.randrange(0, die - 120), rng.randrange(0, die - 40)
+            w, h = rng.randrange(30, 120), rng.randrange(15, 40)
+            layout.layer(n).add_wire(Rect(x, y, x + w, y + h))
+    return layout, WindowGrid(layout.die, windows, windows)
+
+
+def assert_same_analysis(result, base):
+    assert list(result) == list(base)  # same layers, same key order
+    for n in base:
+        assert result[n].layer_number == base[n].layer_number
+        assert np.array_equal(result[n].lower, base[n].lower)
+        assert np.array_equal(result[n].upper, base[n].upper)
+        assert result[n].fill_regions == base[n].fill_regions
+
+
+class TestAnalyzeLayoutParity:
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bit_identical_for_any_worker_count(self, backend, workers):
+        layout, grid = wired_layout()
+        base = analyze_layout(layout, grid)
+        result = analyze_layout(layout, grid, workers=workers, parallel=backend)
+        assert_same_analysis(result, base)
+
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
+    def test_nonzero_window_margin(self, backend):
+        layout, grid = wired_layout(seed=8)
+        base = analyze_layout(layout, grid, window_margin=7)
+        result = analyze_layout(
+            layout, grid, window_margin=7, workers=3, parallel=backend
+        )
+        assert_same_analysis(result, base)
+
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
+    def test_empty_layer(self, backend):
+        layout, grid = wired_layout(empty_layers={2})
+        base = analyze_layout(layout, grid)
+        result = analyze_layout(layout, grid, workers=4, parallel=backend)
+        assert_same_analysis(result, base)
+        assert np.all(base[2].lower == 0.0)
+
+    @pytest.mark.parametrize("backend", TEST_BACKENDS)
+    def test_single_layer_fewer_layers_than_workers(self, backend):
+        layout, grid = wired_layout(num_layers=1)
+        base = analyze_layout(layout, grid)
+        result = analyze_layout(layout, grid, workers=4, parallel=backend)
+        assert_same_analysis(result, base)
+
+    def test_workers_zero_means_per_core(self):
+        layout, grid = wired_layout(seed=2)
+        base = analyze_layout(layout, grid)
+        result = analyze_layout(layout, grid, workers=0, parallel="serial")
+        assert_same_analysis(result, base)
+
+
+class TestAnalysisSharding:
+    def test_shard_spans_under_analysis_stage(self):
+        layout, grid = wired_layout()
+        tracer = obs.Tracer()
+        restore = obs.set_tracer(tracer)
+        try:
+            DummyFillEngine(FillConfig(workers=2, parallel="serial")).run(
+                layout, grid
+            )
+        finally:
+            restore()
+        (run_root,) = [r for r in tracer.roots if r.name == "engine.run"]
+        analysis = run_root.child("analysis")
+        names = [c.name for c in analysis.children]
+        assert names == ["analysis.shard[0]", "analysis.shard[1]"]
+        assert [c.attrs["items"] for c in analysis.children] == [2, 2]
+
+    def test_stage_seconds_worker_agnostic(self):
+        layout, grid = wired_layout()
+        report = DummyFillEngine(FillConfig(workers=2, parallel="serial")).run(
+            layout, grid
+        )
+        assert "analysis" in report.stage_seconds
+        assert report.stage_seconds["analysis"] > 0.0
+
+    def test_layer_counter_merged(self):
+        layout, grid = wired_layout()
+        registry = obs.MetricsRegistry()
+        restore = obs.set_registry(registry)
+        try:
+            analyze_layout(layout, grid, workers=2, parallel="serial")
+        finally:
+            restore()
+        assert registry.counter("analysis.layers").value == layout.num_layers

@@ -162,3 +162,68 @@ class TestTracerBehaviour:
         assert d["status"] == "ok"
         assert d["counters"] == {"n": 1}
         assert "error" not in d
+
+
+class TestAdopt:
+    def _worker_roots(self):
+        worker = Tracer()
+        restore = obs.set_tracer(worker)
+        try:
+            with obs.span("shard[0]"):
+                with obs.span("inner"):
+                    pass
+        finally:
+            restore()
+        worker.roots[0].start_offset = 5.0
+        worker.roots[0].children[0].start_offset = 5.5
+        return worker.roots
+
+    def test_grafts_under_open_span(self, tracer):
+        roots = self._worker_roots()
+        with obs.span("stage") as stage:
+            obs.adopt(roots)
+        assert [c.name for c in stage.children] == ["shard[0]"]
+        assert [c.name for c in stage.children[0].children] == ["inner"]
+
+    def test_source_spans_never_mutated(self, tracer):
+        roots = self._worker_roots()
+        with obs.span("stage"):
+            obs.adopt(roots)
+        assert roots[0].start_offset == 5.0
+        assert roots[0].children[0].start_offset == 5.5
+
+    def test_adopting_twice_is_idempotent_on_offsets(self, tracer):
+        """A retried merge must not double-shift the worker offsets."""
+        roots = self._worker_roots()
+        with obs.span("stage") as stage:
+            obs.adopt(roots)
+            obs.adopt(roots)
+        first, second = stage.children
+        # Both grafts rebase from the same pristine source offsets; the
+        # rebase base is current_offset(), microseconds into the test.
+        assert abs(first.start_offset - second.start_offset) < 0.5
+        for graft in (first, second):
+            assert graft.start_offset >= 5.0
+            assert graft.children[0].start_offset - graft.start_offset == pytest.approx(
+                0.5
+            )
+
+    def test_adopted_copies_do_not_alias(self, tracer):
+        roots = self._worker_roots()
+        with obs.span("stage") as stage:
+            obs.adopt(roots)
+        graft = stage.children[0]
+        assert graft is not roots[0]
+        graft.counters["poke"] = 1.0
+        assert "poke" not in roots[0].counters
+
+    def test_no_rebase_keeps_offsets(self, tracer):
+        roots = self._worker_roots()
+        with obs.span("stage") as stage:
+            obs.adopt(roots, rebase=False)
+        assert stage.children[0].start_offset == 5.0
+
+    def test_adopt_without_open_span_appends_roots(self, tracer):
+        roots = self._worker_roots()
+        obs.adopt(roots)
+        assert [r.name for r in tracer.roots] == ["shard[0]"]
