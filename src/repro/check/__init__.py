@@ -3,8 +3,10 @@
 An AST-based lint pass enforcing the invariants the paper's algorithms
 assume but never state: integer database-unit coordinates, DRC
 constants flowing from the rule deck, densities compared with
-tolerances, exceptions failing loudly in solver paths, and explicit
-module export surfaces.  Run it with::
+tolerances, exceptions failing loudly in solver paths, explicit module
+export surfaces, and — via the dataflow-aware REP008–REP012 pack —
+the parallel-safety and determinism contract of the sharded engine
+stages.  Run it with::
 
     python -m repro.check src/
 
@@ -12,8 +14,23 @@ See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the paper
 sections each rule is anchored to.
 """
 
-from .findings import Finding, Severity, render_json, render_text
-from .rules import RULE_REGISTRY, Rule, all_rule_codes, register, select_rules
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    baseline_counts,
+    load_baseline,
+    ratchet_violations,
+    write_baseline,
+)
+from .findings import Finding, Severity, render_github, render_json, render_text
+from .rules import (
+    RULE_REGISTRY,
+    AnalysisContext,
+    Rule,
+    all_rule_codes,
+    register,
+    select_rules,
+)
 from .runner import (
     AnalysisResult,
     analyze_file,
@@ -25,9 +42,11 @@ from .runner import (
 __all__ = [
     "Finding",
     "Severity",
+    "render_github",
     "render_json",
     "render_text",
     "RULE_REGISTRY",
+    "AnalysisContext",
     "Rule",
     "all_rule_codes",
     "register",
@@ -37,4 +56,10 @@ __all__ = [
     "analyze_paths",
     "analyze_source",
     "collect_noqa",
+    "BaselineError",
+    "apply_baseline",
+    "baseline_counts",
+    "load_baseline",
+    "ratchet_violations",
+    "write_baseline",
 ]

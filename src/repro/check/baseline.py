@@ -1,0 +1,127 @@
+"""Baseline ratchet for incremental rule adoption.
+
+A new rule landing on an existing tree usually finds existing debt.
+The baseline file records that debt as ``"path::code" -> count`` so the
+CI gate can stay red-free *today* while refusing any regression: counts
+may only go **down**.  Once a key's findings are fixed,
+``--update-baseline`` drops the key and the fix is locked in — the
+ratchet never loosens.
+
+File format (JSON, committed next to the CI config)::
+
+    {
+      "version": 1,
+      "baseline": {
+        "src/repro/core/sizing.py::REP011": 2,
+        "benchmarks/run.py::REP008": 1
+      }
+    }
+
+Keys are per *file and rule*, not per line, so unrelated edits moving a
+finding a few lines does not churn the baseline; two keys regress
+independently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .findings import Finding
+
+__all__ = [
+    "BaselineError",
+    "load_baseline",
+    "write_baseline",
+    "baseline_counts",
+    "apply_baseline",
+    "ratchet_violations",
+]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or the update loosens the ratchet."""
+
+
+def baseline_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Current findings folded to the baseline key space."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        key = f"{f.path}::{f.code}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {p}: {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("baseline"), dict):
+        raise BaselineError(f"baseline {p} is not a {{'baseline': {{...}}}} document")
+    out: Dict[str, int] = {}
+    for key, count in doc["baseline"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline {p}: entry {key!r}: {count!r} is not a positive count"
+            )
+        out[key] = count
+    return out
+
+
+def write_baseline(path: Union[str, Path], counts: Dict[str, int]) -> None:
+    """Write the baseline file (zero-count keys are dropped)."""
+    doc = {
+        "version": _BASELINE_VERSION,
+        "baseline": {k: v for k, v in sorted(counts.items()) if v > 0},
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (reported, baselined-away count).
+
+    Per key, up to the baselined count of findings is waived — the
+    *first* ones in the stable sort order, so which lines are waived is
+    deterministic — and everything beyond the allowance is reported.
+    A fixed finding therefore never hides a newly introduced one: the
+    allowance is a count, and the count may only shrink.
+    """
+    remaining = dict(baseline)
+    reported: List[Finding] = []
+    waived = 0
+    for f in findings:
+        key = f"{f.path}::{f.code}"
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            waived += 1
+        else:
+            reported.append(f)
+    return reported, waived
+
+
+def ratchet_violations(
+    current: Dict[str, int], baseline: Dict[str, int]
+) -> List[str]:
+    """Keys whose count went *up* against the baseline.
+
+    Used by ``--update-baseline``: rewriting the file is allowed to
+    drop keys and lower counts (the ratchet tightening), and to add
+    keys for rules that did not exist when the baseline was written,
+    but never to raise an existing key — new debt in an already
+    baselined file/rule must be fixed, not re-baselined.
+    """
+    out: List[str] = []
+    for key, count in sorted(current.items()):
+        if key in baseline and count > baseline[key]:
+            out.append(f"{key}: {baseline[key]} -> {count}")
+    return out

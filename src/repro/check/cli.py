@@ -7,9 +7,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .findings import render_json, render_text
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    baseline_counts,
+    load_baseline,
+    ratchet_violations,
+    write_baseline,
+)
+from .findings import render_github, render_json, render_text
 from .rules import RULE_REGISTRY, all_rule_codes, select_rules
 from .runner import analyze_paths
 
@@ -33,9 +42,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help="output format: text, json, or github (GitHub Actions "
+        "::error/::warning workflow commands that render as inline PR "
+        "annotations) (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help="ratchet file of known findings ('path::code' -> count); "
+        "baselined findings are waived, anything beyond the baselined "
+        "count fails, and counts may only go down",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings; refuses to "
+        "raise any existing key's count (fix new debt, don't baseline it)",
     )
     parser.add_argument(
         "--select",
@@ -83,24 +108,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro.check: {exc.args[0]}", file=sys.stderr)
         return 2
 
+    if args.update_baseline and args.baseline is None:
+        print("repro.check: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
     result = analyze_paths(args.paths, rules=rules)
     if result.checked_files == 0:
         print("repro.check: no Python files found", file=sys.stderr)
         return 2
 
+    findings = result.findings
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro.check: {exc}", file=sys.stderr)
+            return 2
+        current = baseline_counts(findings)
+        if args.update_baseline:
+            regressions = ratchet_violations(current, baseline)
+            if regressions:
+                print(
+                    "repro.check: refusing to loosen the baseline ratchet:",
+                    file=sys.stderr,
+                )
+                for line in regressions:
+                    print(f"  {line}", file=sys.stderr)
+                return 1
+            write_baseline(args.baseline, current)
+            print(
+                f"baseline updated: {len([c for c in current.values() if c])} "
+                f"key(s), {sum(current.values())} finding(s) "
+                f"(was {len(baseline)} key(s), {sum(baseline.values())})"
+            )
+            return 0
+        findings, baselined = apply_baseline(findings, baseline)
+
     if args.format == "json":
-        print(render_json(result.findings, checked_files=result.checked_files))
+        print(
+            render_json(
+                findings,
+                checked_files=result.checked_files,
+                suppressed=result.suppressed,
+                suppressed_by_code=result.suppressed_by_code,
+            )
+        )
+    elif args.format == "github":
+        output = render_github(findings)
+        if output:
+            print(output)
     else:
-        print(render_text(result.findings))
+        print(render_text(findings))
+        suffix = f", {baselined} baselined" if args.baseline is not None else ""
         print(
             f"checked {result.checked_files} file(s), "
-            f"{result.suppressed} finding(s) suppressed by noqa"
+            f"{result.suppressed} finding(s) suppressed by noqa{suffix}"
         )
-        if args.statistics and result.findings:
+        if args.statistics:
             counts: dict = {}
-            for f in result.findings:
+            for f in findings:
                 counts[f.code] = counts.get(f.code, 0) + 1
             for code in sorted(counts):
                 print(f"{code}: {counts[code]}")
+            for code in sorted(result.suppressed_by_code):
+                print(f"{code}: {result.suppressed_by_code[code]} suppressed")
 
-    return 1 if result.findings else 0
+    return 1 if findings else 0

@@ -1,9 +1,11 @@
 """Findings and reporting for the ``repro.check`` static-analysis pass.
 
 A :class:`Finding` is one rule violation at one source location.  The
-renderers turn a list of findings into the two supported output
+renderers turn a list of findings into the three supported output
 formats: a compact ``path:line:col`` text listing (for humans and
-editors) and a stable JSON document (for CI and tooling).
+editors), a stable JSON document (for CI and tooling), and GitHub
+Actions workflow commands (``::error file=...``) that surface as
+inline annotations on pull requests.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "Severity",
@@ -19,10 +21,13 @@ __all__ = [
     "sort_findings",
     "render_text",
     "render_json",
+    "render_github",
     "JSON_SCHEMA_VERSION",
 ]
 
-JSON_SCHEMA_VERSION = 1
+#: bumped to 2 when suppression accounting ("suppressed",
+#: "suppressed_by_code") joined the counts block
+JSON_SCHEMA_VERSION = 2
 
 
 class Severity(Enum):
@@ -88,19 +93,31 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    checked_files: int = 0,
+    suppressed: int = 0,
+    suppressed_by_code: Optional[Dict[str, int]] = None,
+) -> str:
     """Stable JSON document for CI consumption.
 
     Layout::
 
         {
-          "version": 1,
+          "version": 2,
           "checked_files": 12,
           "counts": {"total": 2, "error": 1, "warning": 1,
-                     "by_code": {"REP003": 2}},
+                     "suppressed": 1,
+                     "by_code": {"REP003": 2},
+                     "suppressed_by_code": {"REP005": 1}},
           "findings": [{"code": ..., "message": ..., "path": ...,
                         "line": ..., "col": ..., "severity": ...}, ...]
         }
+
+    ``suppressed`` counts findings waived by ``# repro: noqa`` — they
+    are absent from ``findings`` but never absent from the accounting,
+    so a suppression added by a PR is visible in the CI diff.
     """
     ordered = sort_findings(findings)
     by_code: Dict[str, int] = {}
@@ -113,8 +130,45 @@ def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
             "total": len(ordered),
             "error": sum(1 for f in ordered if f.severity is Severity.ERROR),
             "warning": sum(1 for f in ordered if f.severity is Severity.WARNING),
+            "suppressed": suppressed,
             "by_code": dict(sorted(by_code.items())),
+            "suppressed_by_code": dict(sorted((suppressed_by_code or {}).items())),
         },
         "findings": [f.to_dict() for f in ordered],
     }
     return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def _escape_github(value: str, *, property_value: bool = False) -> str:
+    """Escape a string for a GitHub Actions workflow command.
+
+    Message data escapes ``%``, CR and LF; property values (the
+    ``file=...`` parts) additionally escape ``:`` and ``,``, which
+    delimit properties.
+    """
+    out = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow commands, one annotation per finding.
+
+    Each line is ``::error file=...,line=...,col=...,title=...::msg``
+    (``::warning`` for warnings); when the job runs in Actions these
+    render as inline annotations on the touched lines of the pull
+    request, so a REP violation is visible in the review diff without
+    opening the job log.
+    """
+    ordered = sort_findings(findings)
+    lines: List[str] = []
+    for f in ordered:
+        level = "error" if f.severity is Severity.ERROR else "warning"
+        props = (
+            f"file={_escape_github(f.path, property_value=True)},"
+            f"line={f.line},col={max(1, f.col + 1)},"
+            f"title={_escape_github(f.code, property_value=True)}"
+        )
+        lines.append(f"::{level} {props}::{_escape_github(f.message)}")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Rule framework core: contexts, the registry, and shared AST helpers.
+
+A rule sees one parsed module at a time through a
+:class:`ModuleContext`; rules that need resolved symbols (imports,
+module-level functions, ``run_sharded`` call sites) reach the lazily
+built :class:`~repro.check.rules.context.AnalysisContext` through
+:attr:`ModuleContext.analysis`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from ..findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import AnalysisContext
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "register",
+    "RULE_REGISTRY",
+    "all_rule_codes",
+    "select_rules",
+]
+
+
+class ModuleContext:
+    """Everything a rule may inspect about one parsed module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self._analysis: Optional["AnalysisContext"] = None
+
+    @property
+    def module_basename(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def analysis(self) -> "AnalysisContext":
+        """Resolved-symbol view of the module, built on first use.
+
+        Parsing the symbol table and call sites once per module (not
+        once per rule) keeps the dataflow rules as cheap as the plain
+        AST-walk rules.
+        """
+        if self._analysis is None:
+            from .context import AnalysisContext
+
+            self._analysis = AnalysisContext(self.tree, self.path)
+        return self._analysis
+
+    def in_scope(self, fragments: Sequence[str]) -> bool:
+        """True when the module path matches any scope fragment."""
+        return any(frag in self.path for frag in fragments)
+
+
+class Rule:
+    """Base class for a static-analysis rule.
+
+    Subclasses set :attr:`code`, :attr:`summary` and
+    :attr:`default_severity`, optionally restrict themselves with
+    :attr:`scopes` (path fragments; empty means every file), and
+    implement :meth:`check` yielding :class:`Finding` objects.
+    """
+
+    code: str = "REP000"
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+    #: path fragments the rule applies to; empty tuple = all files
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not self.scopes or ctx.in_scope(self.scopes)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=severity if severity is not None else self.default_severity,
+        )
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rule_codes() -> List[str]:
+    return sorted(RULE_REGISTRY)
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the requested rules (all by default)."""
+    codes = list(select) if select else all_rule_codes()
+    unknown = [c for c in codes if c not in RULE_REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    ignored = set(ignore or ())
+    return [RULE_REGISTRY[c]() for c in codes if c not in ignored]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+#: wrappers that re-quantise to the integer grid, ending the taint
+_INT_CASTS = {"int", "round", "floor", "ceil"}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The bare callee name: ``Rect(...)`` -> ``Rect``, ``a.b(...)`` -> ``b``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_int_cast(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _call_name(node) in _INT_CASTS
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+def _assigned_names(target: ast.expr) -> Set[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for elt in target.elts:
+            out.update(_assigned_names(elt))
+        return out
+    return set()
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any.
+
+    ``shared.cache[k].rects`` -> ``shared``; anything rooted in a call
+    or literal (a copy, not an alias) has no root name.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

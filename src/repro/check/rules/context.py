@@ -1,0 +1,281 @@
+"""Module-level dataflow context shared by the analysis rules.
+
+:class:`AnalysisContext` is built once per module (lazily, via
+:attr:`repro.check.rules.base.ModuleContext.analysis`) and gives rules
+a resolved view the raw AST walk cannot:
+
+* a **symbol table** of module-level functions, classes and constants,
+  plus every function/class defined *inside* another function (the
+  closures REP010 exists to catch);
+* **import resolution** mapping each local binding to the dotted path
+  it came from, with relative imports (``from ..parallel import
+  run_sharded``) resolved against the module's own file path;
+* **call-site tracking** for :func:`repro.parallel.run_sharded`: which
+  expressions are dispatched as shard workers and which travel as the
+  shared state shipped to pool initializers.
+
+Everything here is a conservative, module-local approximation — there
+is no whole-program view — but it is exactly the visibility the
+REP008–REP012 parallel-safety rules need.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AnalysisContext", "ShardedCall"]
+
+#: entry points that dispatch shard workers; matched on the resolved
+#: dotted name so both ``run_sharded(...)`` and
+#: ``parallel.run_sharded(...)`` are found.
+_DISPATCH_SUFFIX = "parallel.run_sharded"
+
+
+@dataclass
+class ShardedCall:
+    """One ``run_sharded(fn, shared, shards, ...)`` call site."""
+
+    node: ast.Call
+    #: the worker-function expression (positional 0 or ``fn=``)
+    fn: Optional[ast.expr]
+    #: the shared-state expression (positional 1 or ``shared=``)
+    shared: Optional[ast.expr]
+    #: qualified name of the enclosing function, '' at module level
+    enclosing: str = ""
+
+
+@dataclass
+class _Scope:
+    """Definitions local to one function body (closures, local classes)."""
+
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+
+
+class AnalysisContext:
+    """Resolved symbols, imports and parallel call sites of one module."""
+
+    def __init__(self, tree: ast.Module, path: str):
+        self.tree = tree
+        self.path = path.replace("\\", "/")
+        #: local binding -> dotted origin ("run_sharded" ->
+        #: "repro.parallel.run_sharded"); plain ``import a.b`` binds "a".
+        self.imports: Dict[str, str] = {}
+        #: module-level function definitions by name
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        #: module-level class definitions by name
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: module-level simple assignments (name -> value expression)
+        self.assignments: Dict[str, ast.expr] = {}
+        #: per-enclosing-function local definitions, keyed by qualname
+        self.scopes: Dict[str, _Scope] = {}
+        #: every run_sharded dispatch found in the module
+        self.sharded_calls: List[ShardedCall] = []
+        self._module_package = _package_of(self.path)
+        self._collect()
+
+    # -- symbol resolution ---------------------------------------------
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted origin of a name/attribute expression, if resolvable.
+
+        ``run_sharded`` (imported from ``repro.parallel``) resolves to
+        ``"repro.parallel.run_sharded"``; ``os.fork`` to ``"os.fork"``;
+        a local variable resolves to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.imports:
+                return self.imports[node.id]
+            if node.id in self.functions or node.id in self.classes:
+                return f"{self._module_package}.{node.id}" if self._module_package else node.id
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def resolves_to(self, node: ast.expr, suffix: str) -> bool:
+        """True when ``node`` resolves to a dotted name ending ``suffix``."""
+        resolved = self.resolve(node)
+        if resolved is None:
+            return False
+        return resolved == suffix or resolved.endswith("." + suffix)
+
+    def local_function(self, name: str) -> Optional[ast.FunctionDef]:
+        """A function of this *module* (top level), if defined here."""
+        return self.functions.get(name)
+
+    def nested_function(self, name: str) -> Optional[Tuple[str, ast.FunctionDef]]:
+        """A function defined inside another function, with its scope."""
+        for qualname, scope in self.scopes.items():
+            if name in scope.functions:
+                return qualname, scope.functions[name]
+        return None
+
+    def nested_class(self, name: str) -> Optional[Tuple[str, ast.ClassDef]]:
+        """A class defined inside a function, with its scope."""
+        for qualname, scope in self.scopes.items():
+            if name in scope.classes:
+                return qualname, scope.classes[name]
+        return None
+
+    # -- construction ---------------------------------------------------
+
+    def _collect(self) -> None:
+        # Imports anywhere in the module — top level, TYPE_CHECKING /
+        # fallback blocks, *and function bodies* (the engine imports
+        # run_sharded lazily inside the functions that dispatch it, and
+        # those bindings must still resolve at the call sites).
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._collect_import(node)
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if isinstance(node, ast.FunctionDef):
+                    self.functions[node.name] = node
+                self._collect_scope(node, node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = node
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._collect_scope(sub, f"{node.name}.{sub.name}")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.assignments[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    self.assignments[node.target.id] = node.value
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._maybe_sharded_call(node)
+
+    def _collect_import(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    self.imports[alias.asname] = alias.name
+                else:
+                    # `import a.b.c` binds only `a`
+                    self.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = self._resolve_from(node)
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str:
+        """Absolute dotted base of a ``from X import ...`` statement.
+
+        Relative imports resolve against the module's package inferred
+        from its path; when the path carries no package information the
+        relative dots are dropped and the textual module kept, which is
+        still enough for suffix matching (``..parallel`` ->
+        ``parallel``).
+        """
+        module = node.module or ""
+        if node.level == 0:
+            return module
+        parts = self._module_package.split(".") if self._module_package else []
+        if parts and not self.path.endswith("/__init__.py"):
+            parts = parts[:-1]  # the module's own package
+        # level 1 = current package, each further level climbs one
+        climbed = parts[: max(0, len(parts) - (node.level - 1))]
+        if climbed:
+            return ".".join(climbed + ([module] if module else []))
+        return module
+
+    def _collect_scope(self, func: ast.stmt, qualname: str) -> None:
+        """Record functions/classes defined inside ``func``'s body."""
+        scope = _Scope()
+        body = getattr(func, "body", [])
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.FunctionDef):
+                scope.functions[node.name] = node
+                # one qualname level is enough for closure detection
+            elif isinstance(node, ast.ClassDef):
+                scope.classes[node.name] = node
+            elif not isinstance(node, (ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+        if scope.functions or scope.classes:
+            self.scopes[qualname] = scope
+
+    def _maybe_sharded_call(self, node: ast.Call) -> None:
+        if not self.resolves_to(node.func, _DISPATCH_SUFFIX):
+            return
+        fn_arg: Optional[ast.expr] = node.args[0] if node.args else None
+        shared_arg: Optional[ast.expr] = node.args[1] if len(node.args) > 1 else None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_arg = kw.value
+            elif kw.arg == "shared":
+                shared_arg = kw.value
+        self.sharded_calls.append(
+            ShardedCall(
+                node=node,
+                fn=fn_arg,
+                shared=shared_arg,
+                enclosing=self._enclosing_function(node),
+            )
+        )
+
+    def _enclosing_function(self, call: ast.Call) -> str:
+        for name, func in self.functions.items():
+            for sub in ast.walk(func):
+                if sub is call:
+                    return name
+        return ""
+
+    # -- local value tracing -------------------------------------------
+
+    def value_of(self, name: str, enclosing: str = "") -> Optional[ast.expr]:
+        """Last assigned value expression of ``name`` in a scope.
+
+        Looks through the enclosing function's body first (textually
+        last assignment wins — a linear approximation of dataflow),
+        then module level.  Used to trace ``shared = _State(...)`` back
+        to its constructor at a ``run_sharded`` call site.
+        """
+        func = self.functions.get(enclosing) if enclosing else None
+        if func is not None:
+            value: Optional[ast.expr] = None
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            value = node.value
+                elif isinstance(node, ast.AnnAssign):
+                    if (
+                        isinstance(node.target, ast.Name)
+                        and node.target.id == name
+                        and node.value is not None
+                    ):
+                        value = node.value
+            if value is not None:
+                return value
+        return self.assignments.get(name)
+
+
+def _package_of(path: str) -> str:
+    """Dotted package+module of a source path, best effort.
+
+    ``src/repro/core/candidates.py`` -> ``repro.core.candidates``;
+    paths outside a recognisable tree yield the bare module name.
+    """
+    parts = path.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # keep at most the trailing package-ish segments
+        parts = [p for p in parts if p and not p.endswith(":")][-3:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)

@@ -1,0 +1,343 @@
+"""Determinism rules: REP011–REP012.
+
+The run-to-run reproducibility contract — same input, same GDSII
+bytes, same score — breaks through two quiet channels: iteration over
+unordered containers feeding accumulation or output, and float
+reduction whose association depends on how work was sharded.  Both
+produced real bugs in the fill literature (density scores drifting in
+the last ulp between "identical" runs); both are cheap to catch
+statically.
+
+* **REP011** — no unordered ``set`` iteration feeding results and no
+  unseeded global ``random`` in the deterministic paths (``density/``,
+  ``core/``, ``netflow/``, ``gdsii/``); wrap the container in
+  ``sorted(...)`` or use a seeded ``random.Random(seed)`` instance.
+* **REP012** — no plain ``sum(...)``/``+=`` folding of
+  ``run_sharded`` results: each element is a per-shard aggregate, so
+  summing them re-associates float addition across shard boundaries
+  and ``workers=N`` stops being bit-identical to serial.  Return
+  per-item values and reassemble in shard order, or use
+  ``math.fsum`` on both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from ..findings import Finding, Severity
+from .base import ModuleContext, Rule, _call_name, register
+
+__all__ = [
+    "UnorderedIterationRule",
+    "ShardFloatMergeRule",
+]
+
+_ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _scopes_of(tree: ast.Module) -> List[_ScopeNode]:
+    """The module plus every function, each analyzed as one scope."""
+    out: List[_ScopeNode] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(node)
+    return out
+
+
+def _iter_scope(scope: _ScopeNode) -> Iterator[ast.AST]:
+    """Walk one scope without descending into nested functions.
+
+    Nested functions are separate entries in :func:`_scopes_of` (with
+    their own name tables), so descending here would double-report
+    every finding inside them.
+    """
+    stack: List[ast.AST] = list(scope.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# REP011 — unordered iteration / unseeded randomness
+# ----------------------------------------------------------------------
+
+_SET_CALLS = {"set", "frozenset"}
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+#: consumers that expose the container's iteration order in results
+_ORDER_EXPOSING_CALLS = {"list", "tuple", "sum"}
+
+_RANDOM_FUNCS = {
+    "random",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+_NP_RANDOM_FUNCS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+}
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Unordered iteration / unseeded randomness in deterministic paths.
+
+    Set iteration order is a function of element hashes and insertion
+    history — stable within a process, but not across processes (hash
+    randomization) or code revisions.  A ``for`` loop over a set that
+    accumulates floats or emits output bakes that order into results;
+    the fix is an explicit ``sorted(...)``.  The module-level
+    ``random``/``numpy.random`` generators are process-global and
+    unseeded; stochastic passes must thread an explicit
+    ``random.Random(seed)`` so reruns reproduce (the Monte Carlo
+    baseline does exactly this).
+    """
+
+    code = "REP011"
+    summary = "unordered set iteration or unseeded random in deterministic paths"
+    default_severity = Severity.WARNING
+    scopes = ("density/", "core/", "netflow/", "gdsii/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in _scopes_of(ctx.tree):
+            set_names = self._set_names(scope)
+            for node in _iter_scope(scope):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if self._is_unordered(node.iter, set_names):
+                        yield self.finding(
+                            ctx,
+                            node.iter,
+                            "iteration over an unordered set; wrap in "
+                            "sorted(...) so results do not depend on hash "
+                            "order",
+                        )
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if self._is_unordered(gen.iter, set_names):
+                            yield self.finding(
+                                ctx,
+                                gen.iter,
+                                "comprehension over an unordered set; wrap "
+                                "in sorted(...) so results do not depend on "
+                                "hash order",
+                            )
+                elif isinstance(node, ast.Call):
+                    yield from self._call_findings(ctx, node, set_names)
+
+    def _call_findings(
+        self, ctx: ModuleContext, node: ast.Call, set_names: Set[str]
+    ) -> Iterator[Finding]:
+        name = _call_name(node)
+        if (
+            isinstance(node.func, ast.Name)
+            and name in _ORDER_EXPOSING_CALLS
+            and node.args
+            and self._is_unordered(node.args[0], set_names)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() over an unordered set exposes hash order in "
+                "results; wrap the set in sorted(...)",
+            )
+            return
+        resolved = ctx.analysis.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved.startswith("random.") and resolved.split(".", 1)[1] in _RANDOM_FUNCS:
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded global {resolved}(); thread an explicit "
+                "random.Random(seed) instance through the pass",
+            )
+        elif resolved.startswith("numpy.random.") and (
+            resolved.rsplit(".", 1)[1] in _NP_RANDOM_FUNCS
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded global {resolved}(); use "
+                "numpy.random.default_rng(seed)",
+            )
+
+    def _set_names(self, scope: _ScopeNode) -> Set[str]:
+        """Names whose every assignment in the scope is set-valued."""
+        values: Dict[str, List[ast.expr]] = {}
+        for node in _iter_scope(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        values.setdefault(target.id, []).append(node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    values.setdefault(node.target.id, []).append(node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor, ast.AugAssign)):
+                # loop targets / augmented writes make the name unknown
+                target = node.target
+                if isinstance(target, ast.Name):
+                    values.setdefault(target.id, []).append(ast.Constant(value=None))
+        return {
+            name
+            for name, exprs in values.items()
+            if exprs and all(self._is_set_constructor(e) for e in exprs)
+        }
+
+    @staticmethod
+    def _is_set_constructor(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _SET_CALLS
+        return False
+
+    def _is_unordered(self, node: ast.expr, set_names: Set[str]) -> bool:
+        if self._is_set_constructor(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if _call_name(node) in _SET_METHODS:
+                return self._is_unordered(node.func.value, set_names)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_unordered(node.left, set_names) or self._is_unordered(
+                node.right, set_names
+            )
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP012 — float merge order across shard boundaries
+# ----------------------------------------------------------------------
+
+
+@register
+class ShardFloatMergeRule(Rule):
+    """Plain float folds over ``run_sharded`` results.
+
+    ``run_sharded`` returns one value per *shard*; summing those
+    values adds per-shard subtotals, which re-associates float
+    addition relative to the serial item-by-item fold — so
+    ``workers=2`` and ``workers=4`` can differ in the last ulp and
+    the bit-identical contract silently breaks.  Reassemble per-item
+    values in shard order and fold once (what the engine stages do),
+    or use ``math.fsum`` on both the serial and sharded sides
+    (exactly-rounded summation is association-independent).
+    """
+
+    code = "REP012"
+    summary = "sum()/+= fold over run_sharded results re-associates float addition"
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        analysis = ctx.analysis
+        call_nodes = {id(c.node) for c in analysis.sharded_calls}
+        if not call_nodes:
+            return
+        for scope in _scopes_of(ctx.tree):
+            result_names = self._result_names(scope, call_nodes)
+            for node in _iter_scope(scope):
+                if isinstance(node, ast.Call) and self._is_plain_sum(node):
+                    arg = node.args[0] if node.args else None
+                    if arg is not None and self._is_sharded(arg, call_nodes, result_names):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "sum() over run_sharded results adds per-shard "
+                            "subtotals and re-associates float addition; "
+                            "reassemble per-item values in shard order or "
+                            "use math.fsum on both sides",
+                        )
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._loop_findings(ctx, node, call_nodes, result_names)
+
+    @staticmethod
+    def _is_plain_sum(node: ast.Call) -> bool:
+        """``sum(...)`` but not ``math.fsum(...)`` (fsum is exact)."""
+        return isinstance(node.func, ast.Name) and node.func.id == "sum"
+
+    def _is_sharded(
+        self, node: ast.expr, call_nodes: Set[int], result_names: Set[str]
+    ) -> bool:
+        if id(node) in call_nodes:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in result_names
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            return any(
+                self._is_sharded(gen.iter, call_nodes, result_names)
+                for gen in node.generators
+            )
+        return False
+
+    @staticmethod
+    def _result_names(scope: _ScopeNode, call_nodes: Set[int]) -> Set[str]:
+        names: Set[str] = set()
+        for node in _iter_scope(scope):
+            if isinstance(node, ast.Assign) and id(node.value) in call_nodes:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _loop_findings(
+        self,
+        ctx: ModuleContext,
+        loop: Union[ast.For, ast.AsyncFor],
+        call_nodes: Set[int],
+        result_names: Set[str],
+    ) -> Iterator[Finding]:
+        """``for r in results: total += r`` — the manual fold."""
+        if not self._is_sharded(loop.iter, call_nodes, result_names):
+            return
+        loop_vars = _target_names(loop.target)
+        for node in ast.walk(loop):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                if any(
+                    isinstance(sub, ast.Name) and sub.id in loop_vars
+                    for sub in ast.walk(node.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "+= fold over run_sharded results adds per-shard "
+                        "subtotals and re-associates float addition; "
+                        "reassemble per-item values in shard order or use "
+                        "math.fsum on both sides",
+                    )
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    out: Set[str] = set()
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+    return out

@@ -1,4 +1,4 @@
-"""The REP rule pack: codebase-aware lint rules for the fill engine.
+"""The original invariant pack: REP001–REP007.
 
 Each rule encodes one invariant the paper's algorithms silently rely
 on (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
@@ -19,26 +19,25 @@ on (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
 * **REP007** — one clock: raw ``time.perf_counter()`` / ``tracemalloc``
   belong to ``repro/obs`` only; everything else measures through
   spans, :func:`repro.obs.measure` or the RSS sampler.
-
-Rules are registered in :data:`RULE_REGISTRY` via the
-:func:`register` decorator; adding a rule is writing a subclass of
-:class:`Rule` and decorating it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import Iterator, List, Optional, Set, Tuple
 
-from .findings import Finding, Severity
+from ..findings import Finding, Severity
+from .base import (
+    ModuleContext,
+    Rule,
+    _assigned_names,
+    _call_name,
+    _is_int_cast,
+    _is_numeric_literal,
+    register,
+)
 
 __all__ = [
-    "ModuleContext",
-    "Rule",
-    "register",
-    "RULE_REGISTRY",
-    "all_rule_codes",
-    "select_rules",
     "IntegerCoordinateRule",
     "DrcLiteralRule",
     "MutableDefaultRule",
@@ -49,116 +48,14 @@ __all__ = [
 ]
 
 
-class ModuleContext:
-    """Everything a rule may inspect about one parsed module."""
-
-    def __init__(self, path: str, source: str, tree: ast.Module):
-        self.path = path.replace("\\", "/")
-        self.source = source
-        self.tree = tree
-
-    @property
-    def module_basename(self) -> str:
-        return self.path.rsplit("/", 1)[-1]
-
-    def in_scope(self, fragments: Sequence[str]) -> bool:
-        """True when the module path matches any scope fragment."""
-        return any(frag in self.path for frag in fragments)
-
-
-class Rule:
-    """Base class for a static-analysis rule.
-
-    Subclasses set :attr:`code`, :attr:`summary` and
-    :attr:`default_severity`, optionally restrict themselves with
-    :attr:`scopes` (path fragments; empty means every file), and
-    implement :meth:`check` yielding :class:`Finding` objects.
-    """
-
-    code: str = "REP000"
-    summary: str = ""
-    default_severity: Severity = Severity.ERROR
-    #: path fragments the rule applies to; empty tuple = all files
-    scopes: Tuple[str, ...] = ()
-
-    def applies_to(self, ctx: ModuleContext) -> bool:
-        return not self.scopes or ctx.in_scope(self.scopes)
-
-    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(
-        self,
-        ctx: ModuleContext,
-        node: ast.AST,
-        message: str,
-        severity: Optional[Severity] = None,
-    ) -> Finding:
-        return Finding(
-            code=self.code,
-            message=message,
-            path=ctx.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            severity=severity if severity is not None else self.default_severity,
-        )
-
-
-RULE_REGISTRY: Dict[str, Type[Rule]] = {}
-
-
-def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
-    if cls.code in RULE_REGISTRY:
-        raise ValueError(f"duplicate rule code {cls.code}")
-    RULE_REGISTRY[cls.code] = cls
-    return cls
-
-
-def all_rule_codes() -> List[str]:
-    return sorted(RULE_REGISTRY)
-
-
-def select_rules(
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-) -> List[Rule]:
-    """Instantiate the requested rules (all by default)."""
-    codes = list(select) if select else all_rule_codes()
-    unknown = [c for c in codes if c not in RULE_REGISTRY]
-    if unknown:
-        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
-    ignored = set(ignore or ())
-    return [RULE_REGISTRY[c]() for c in codes if c not in ignored]
-
-
 # ----------------------------------------------------------------------
-# shared AST helpers
+# REP001 — integer-dbu discipline for geometry coordinates
 # ----------------------------------------------------------------------
 
 #: calls that consume dbu coordinates positionally
 _COORD_CONSTRUCTORS = {"Rect"}
 #: methods whose arguments are dbu distances/coordinates
 _COORD_METHODS = {"translated", "expanded", "shrunk", "contains_point"}
-#: wrappers that re-quantise to the integer grid, ending the taint
-_INT_CASTS = {"int", "round", "floor", "ceil"}
-
-
-def _call_name(node: ast.Call) -> Optional[str]:
-    """The bare callee name: ``Rect(...)`` -> ``Rect``, ``a.b(...)`` -> ``b``."""
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    return None
-
-
-def _is_int_cast(node: ast.AST) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and _call_name(node) in _INT_CASTS
-    )
 
 
 def _float_taints(expr: ast.AST) -> Iterator[ast.AST]:
@@ -179,17 +76,6 @@ def _float_taints(expr: ast.AST) -> Iterator[ast.AST]:
         # still descend: `a / b / c` should report each division once
     for child in ast.iter_child_nodes(expr):
         yield from _float_taints(child)
-
-
-def _is_numeric_literal(node: ast.AST) -> bool:
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
-
-
-# ----------------------------------------------------------------------
-# REP001 — integer-dbu discipline for geometry coordinates
-# ----------------------------------------------------------------------
 
 
 @register
@@ -325,7 +211,9 @@ class MutableDefaultRule(Rule):
 
     @staticmethod
     def _is_mutable(node: ast.AST) -> bool:
-        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
             return True
         if isinstance(node, ast.Call):
             return _call_name(node) in _MUTABLE_CALLS
@@ -623,14 +511,3 @@ class RawTimerRule(Rule):
                         f"raw {name}() call outside repro/obs; wrap the "
                         "region in an obs.span(...) instead",
                     )
-
-
-def _assigned_names(target: ast.expr) -> Set[str]:
-    if isinstance(target, ast.Name):
-        return {target.id}
-    if isinstance(target, (ast.Tuple, ast.List)):
-        out: Set[str] = set()
-        for elt in target.elts:
-            out.update(_assigned_names(elt))
-        return out
-    return set()

@@ -97,17 +97,26 @@ def _scan_comment(directives: NoqaDirectives, lineno: int, text: str) -> None:
 
 
 class AnalysisResult:
-    """Findings plus bookkeeping for one analysis run."""
+    """Findings plus bookkeeping for one analysis run.
+
+    Suppressions are counted, not dropped: ``suppressed`` and
+    ``suppressed_by_code`` account for every finding waived by a
+    ``# repro: noqa`` directive so waived debt stays visible in
+    reports.
+    """
 
     def __init__(self) -> None:
         self.findings: List[Finding] = []
         self.checked_files: int = 0
         self.suppressed: int = 0
+        self.suppressed_by_code: Dict[str, int] = {}
 
     def extend(self, other: "AnalysisResult") -> None:
         self.findings.extend(other.findings)
         self.checked_files += other.checked_files
         self.suppressed += other.suppressed
+        for code, count in other.suppressed_by_code.items():
+            self.suppressed_by_code[code] = self.suppressed_by_code.get(code, 0) + count
 
     @property
     def has_errors(self) -> bool:
@@ -145,6 +154,9 @@ def analyze_source(
         for finding in rule.check(ctx):
             if noqa.suppresses(finding):
                 result.suppressed += 1
+                result.suppressed_by_code[finding.code] = (
+                    result.suppressed_by_code.get(finding.code, 0) + 1
+                )
             else:
                 result.findings.append(finding)
     result.findings = sort_findings(result.findings)

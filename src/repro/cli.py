@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend when --workers != 1 (default: process)",
     )
     fill.add_argument(
+        "--sanitize",
+        action="store_true",
+        default=None,
+        help="arm the shard sanitizer: digest shared state around every "
+        "shard worker and fail loudly if a worker mutates it (default: "
+        "follow REPRO_SANITIZE=shard in the environment)",
+    )
+    fill.add_argument(
         "--report",
         type=Path,
         help="write a markdown run report to this path",
@@ -240,6 +248,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
             solver=args.solver,
             workers=args.workers,
             parallel=args.parallel,
+            sanitize=args.sanitize,
         )
         report = DummyFillEngine(config).run(layout, grid)
         with obs.span("drc"):

@@ -483,6 +483,7 @@ def generate_candidates(
                 workers=workers,
                 backend=config.parallel,
                 label="candidates.shard",
+                sanitize=config.sanitize,
             )
             for pair in shard_pairs
         ]

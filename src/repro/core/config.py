@@ -77,6 +77,14 @@ class FillConfig:
         bodies), ``"thread"`` (a thread pool; GIL-bound but cheap to
         start), or ``"serial"`` (shard and merge without any pool —
         the reference the determinism tests compare against).
+    sanitize:
+        Arm the runtime shard sanitizer: pickle-digest the shared state
+        around every shard worker and fail loudly
+        (:class:`repro.parallel.ShardMutationError`) if a worker
+        mutates it.  ``None`` (the default) defers to
+        ``REPRO_SANITIZE=shard`` in the environment; ``False`` forces
+        it off.  Costs one pickle round per shard when armed, nothing
+        when off.
     """
 
     lambda_factor: float = 1.1
@@ -91,6 +99,7 @@ class FillConfig:
     case1_steering: bool = True
     workers: int = 1
     parallel: str = "process"
+    sanitize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.lambda_factor < 1.0:

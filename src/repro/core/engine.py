@@ -113,6 +113,7 @@ class DummyFillEngine:
                     window_margin=margin,
                     workers=config.effective_workers(),
                     parallel=config.parallel,
+                    sanitize=config.sanitize,
                 )
                 obs.count("engine.layers", len(analysis))
                 obs.count("engine.windows", grid.num_windows)

@@ -565,6 +565,7 @@ def size_fills(
                 workers=workers,
                 backend=config.parallel,
                 label="sizing.shard",
+                sanitize=config.sanitize,
             )
             for triple in shard_triples
         ]

@@ -233,6 +233,7 @@ def analyze_layout(
     *,
     workers: int = 1,
     parallel: str = "process",
+    sanitize: Optional[bool] = None,
 ) -> Dict[int, LayerDensity]:
     """Density analysis for every layer of a layout.
 
@@ -244,7 +245,8 @@ def analyze_layout(
     spans/metrics) merge in shard order, so the returned
     ``{layer_number: LayerDensity}`` dict is bit-identical to the
     serial run for any worker count and backend.  ``workers=0`` means
-    one worker per available core.
+    one worker per available core.  ``sanitize`` arms the shard
+    sanitizer (see :func:`repro.parallel.run_sharded`).
     """
     shared = _AnalysisShared(grid=grid, rules=layout.rules, window_margin=window_margin)
     layers = list(layout.layers)
@@ -264,6 +266,7 @@ def analyze_layout(
                 workers=workers,
                 backend=parallel,
                 label="analysis.shard",
+                sanitize=sanitize,
             )
             for ld in shard_densities
         ]

@@ -28,22 +28,32 @@ Determinism contract: for a pure ``fn``, the merged output of
 ``workers=N`` is identical for every ``N`` (including the serial
 backend), because shards partition the ordered work list contiguously
 and results merge in shard order.  See ``docs/PERFORMANCE.md``.
+
+The *shard sanitizer* (``REPRO_SANITIZE=shard``, ``FillConfig.sanitize``
+or ``run_sharded(..., sanitize=True)``) enforces the pure-worker half
+of that contract at runtime: it pickle-digests the shared state around
+every shard and raises :class:`ShardMutationError` on any change —
+the dynamic counterpart to the static REP009 rule.
 """
 
 from .executor import (
     BACKENDS,
     ParallelConfigError,
+    ShardMutationError,
     ShardOutcome,
     resolve_workers,
     run_sharded,
+    sanitize_enabled,
 )
 from .shard import shard_items
 
 __all__ = [
     "BACKENDS",
     "ParallelConfigError",
+    "ShardMutationError",
     "ShardOutcome",
     "resolve_workers",
     "run_sharded",
+    "sanitize_enabled",
     "shard_items",
 ]

@@ -28,11 +28,13 @@ k+1's, whichever finished first — so run records stay deterministic.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..obs.metrics import Instrument, MetricsRegistry, set_registry
@@ -41,13 +43,19 @@ from ..obs.spans import Span, Tracer, set_tracer
 __all__ = [
     "BACKENDS",
     "ParallelConfigError",
+    "ShardMutationError",
     "ShardOutcome",
     "resolve_workers",
     "run_sharded",
+    "sanitize_enabled",
 ]
 
 #: recognised execution backends
 BACKENDS = ("process", "thread", "serial")
+
+#: environment switch for the shard sanitizer (``REPRO_SANITIZE=shard``)
+_SANITIZE_ENV = "REPRO_SANITIZE"
+_SANITIZE_MODE = "shard"
 
 ShardFn = Callable[[Any, Sequence[Any]], Any]
 
@@ -56,14 +64,36 @@ class ParallelConfigError(ValueError):
     """A parallel knob names an unknown backend or worker count."""
 
 
+class ShardMutationError(RuntimeError):
+    """A shard worker mutated its shared state (sanitizer violation).
+
+    ``run_sharded``'s contract says ``shared`` is read-only: on the
+    process backend each worker holds its own copy, so a mutation is
+    *silently dropped* there but becomes real cross-shard interference
+    on the thread and serial backends — the worst kind of
+    backend-dependent bug.  The shard sanitizer pickles ``shared``
+    before and after each shard and raises this error on any digest
+    change, on every backend, so the mutation is caught where it
+    happens instead of surfacing as a bit-identity diff three stages
+    later.
+    """
+
+
 @dataclass
 class ShardOutcome:
-    """One shard's return value plus its captured observability."""
+    """One shard's return value plus its captured observability.
+
+    ``input_digest``/``output_digest`` are sha256 hex digests of the
+    pickled shared state and shard result, populated only when the
+    shard sanitizer is active (``None`` otherwise, at zero cost).
+    """
 
     index: int
     value: Any
     spans: List[Span] = field(default_factory=list)
     metrics: Dict[str, Instrument] = field(default_factory=dict)
+    input_digest: Optional[str] = None
+    output_digest: Optional[str] = None
 
 
 def resolve_workers(workers: int) -> int:
@@ -75,26 +105,71 @@ def resolve_workers(workers: int) -> int:
     return workers
 
 
+def sanitize_enabled(sanitize: Optional[bool] = None) -> bool:
+    """Resolve the sanitizer switch: explicit flag, else the environment.
+
+    ``None`` (the default everywhere) defers to ``REPRO_SANITIZE=shard``
+    so CI can arm the sanitizer for a whole test run without touching
+    call sites; ``True``/``False`` from config or CLI wins over the
+    environment.
+    """
+    if sanitize is not None:
+        return sanitize
+    return os.environ.get(_SANITIZE_ENV, "") == _SANITIZE_MODE
+
+
+def _digest(obj: Any, what: str, label: str, index: int) -> str:
+    """sha256 of the pickled object; sanitizer-flavoured error if not picklable."""
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ShardMutationError(
+            f"shard sanitizer could not pickle the {what} of {label}[{index}]: "
+            f"{exc} (run_sharded requires picklable workers and state; "
+            "see REP010)"
+        ) from exc
+    return hashlib.sha256(payload).hexdigest()
+
+
 def _execute(
     fn: ShardFn,
     shared: Any,
     index: int,
     shard: Sequence[Any],
     label: str,
+    sanitize: bool = False,
 ) -> ShardOutcome:
     """Run one shard under a fresh tracer/registry and capture both."""
     tracer = Tracer()
     registry = MetricsRegistry()
     restore_tracer = set_tracer(tracer)
     restore_registry = set_registry(registry)
+    input_digest: Optional[str] = None
+    output_digest: Optional[str] = None
     try:
         with obs.span(f"{label}[{index}]") as sp:
             sp.annotate(shard=index, items=len(shard))
+            if sanitize:
+                input_digest = _digest(shared, "shared state", label, index)
             value = fn(shared, shard)
+            if sanitize:
+                after = _digest(shared, "shared state", label, index)
+                output_digest = _digest(value, "result", label, index)
+                sp.annotate(input_digest=input_digest, output_digest=output_digest)
+                if after != input_digest:
+                    raise ShardMutationError(
+                        f"shard worker {getattr(fn, '__name__', fn)!r} mutated "
+                        f"its shared state in {label}[{index}]: pickle digest "
+                        f"{input_digest[:12]} -> {after[:12]}. Shared state is "
+                        "read-only by contract (REP009); return per-shard "
+                        "results instead of writing through `shared`."
+                    )
     finally:
         restore_registry()
         restore_tracer()
-    return ShardOutcome(index, value, tracer.roots, registry.instruments())
+    return ShardOutcome(
+        index, value, tracer.roots, registry.instruments(), input_digest, output_digest
+    )
 
 
 # -- process backend ---------------------------------------------------
@@ -110,9 +185,9 @@ def _init_worker(fn: ShardFn, shared: Any) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_in_worker(task: Tuple[int, Sequence[Any], str]) -> ShardOutcome:
-    index, shard, label = task
-    return _execute(_WORKER_FN, _WORKER_SHARED, index, shard, label)
+def _run_in_worker(task: Tuple[int, Sequence[Any], str, bool]) -> ShardOutcome:
+    index, shard, label, sanitize = task
+    return _execute(_WORKER_FN, _WORKER_SHARED, index, shard, label, sanitize)
 
 
 def _start_pool(fn: ShardFn, shared: Any, workers: int) -> ProcessPoolExecutor:
@@ -138,8 +213,12 @@ def _map_serial(
     shared: Any,
     shards: Sequence[Sequence[Any]],
     label: str,
+    sanitize: bool,
 ) -> List[ShardOutcome]:
-    return [_execute(fn, shared, k, shard, label) for k, shard in enumerate(shards)]
+    return [
+        _execute(fn, shared, k, shard, label, sanitize)
+        for k, shard in enumerate(shards)
+    ]
 
 
 def _map_thread(
@@ -148,11 +227,12 @@ def _map_thread(
     shards: Sequence[Sequence[Any]],
     workers: int,
     label: str,
+    sanitize: bool,
 ) -> List[ShardOutcome]:
     with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
         return list(
             pool.map(
-                lambda task: _execute(fn, shared, task[0], task[1], label),
+                lambda task: _execute(fn, shared, task[0], task[1], label, sanitize),
                 [(k, shard) for k, shard in enumerate(shards)],
             )
         )
@@ -166,6 +246,7 @@ def run_sharded(
     workers: int,
     backend: str = "process",
     label: str = "shard",
+    sanitize: Optional[bool] = None,
 ) -> List[Any]:
     """Run ``fn(shared, shard)`` over every shard; results in shard order.
 
@@ -175,6 +256,12 @@ def run_sharded(
     shard order before returning.  ``workers`` is the resolved count
     (see :func:`resolve_workers`); the pool size never exceeds the
     shard count.
+
+    ``sanitize`` arms the shard sanitizer: each worker pickle-digests
+    ``shared`` before and after running and raises
+    :class:`ShardMutationError` on any change, recording input/output
+    digests on the shard's span and :class:`ShardOutcome`.  The default
+    ``None`` defers to ``REPRO_SANITIZE=shard`` in the environment.
     """
     if backend not in BACKENDS:
         raise ParallelConfigError(
@@ -183,6 +270,7 @@ def run_sharded(
     if not shards:
         return []
     workers = resolve_workers(workers)
+    sanitizing = sanitize_enabled(sanitize)
     if backend == "process" and workers > 1:
         pool = None
         try:
@@ -193,15 +281,15 @@ def run_sharded(
             # pool *startup* may fall back — an exception raised by the
             # shard fn itself must propagate, not silently re-run every
             # shard serially and mask the original failure.
-            outcomes = _map_serial(fn, shared, shards, label)
+            outcomes = _map_serial(fn, shared, shards, label, sanitizing)
         if pool is not None:
-            tasks = [(k, shard, label) for k, shard in enumerate(shards)]
+            tasks = [(k, shard, label, sanitizing) for k, shard in enumerate(shards)]
             with pool:
                 outcomes = list(pool.map(_run_in_worker, tasks))
     elif backend == "thread" and workers > 1:
-        outcomes = _map_thread(fn, shared, shards, workers, label)
+        outcomes = _map_thread(fn, shared, shards, workers, label, sanitizing)
     else:
-        outcomes = _map_serial(fn, shared, shards, label)
+        outcomes = _map_serial(fn, shared, shards, label, sanitizing)
     registry = obs.active_registry()
     for outcome in outcomes:  # shard order == merge order
         obs.adopt(outcome.spans)

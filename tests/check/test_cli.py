@@ -133,3 +133,218 @@ def test_shipped_tree_is_clean_smoke():
     doc = json.loads(proc.stdout)
     assert doc["counts"]["total"] == 0
     assert doc["checked_files"] > 50
+
+
+# ----------------------------------------------------------------------
+# GitHub Actions annotation format
+# ----------------------------------------------------------------------
+
+
+def test_github_format_emits_workflow_commands(violation_file):
+    code, out = run_cli([str(violation_file), "--format", "github"])
+    assert code == 1
+    lines = [ln for ln in out.splitlines() if ln]
+    assert lines, "github format produced no annotations"
+    for line in lines:
+        assert line.startswith(("::error ", "::warning "))
+        assert "file=" in line and "line=" in line and "::" in line[2:]
+    assert any("title=REP003" in ln for ln in lines)
+    # annotations point at the real file so GitHub can anchor them
+    assert any(str(violation_file) in ln.replace("%3A", ":") for ln in lines)
+
+
+def test_github_format_clean_tree_prints_nothing(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text('__all__ = ["f"]\n\n\ndef f(x):\n    return x + 1\n')
+    code, out = run_cli([str(clean), "--format", "github"])
+    assert code == 0
+    assert out.strip() == ""
+
+
+def test_github_format_escapes_newlines():
+    from repro.check import Finding, Severity, render_github
+
+    f = Finding("REP001", "line one\nline two", "a.py", 3, 0, Severity.ERROR)
+    out = render_github([f])
+    assert "\n" not in out
+    assert "%0A" in out
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+
+
+def test_baseline_update_then_clean_gate(violation_file, tmp_path):
+    base = tmp_path / "baseline.json"
+    code, out = run_cli(
+        [str(violation_file), "--baseline", str(base), "--update-baseline"]
+    )
+    assert code == 0
+    assert base.exists()
+    doc = json.loads(base.read_text())
+    assert doc["baseline"], "baseline captured no findings"
+    assert all("::" in key for key in doc["baseline"])
+
+    code, out = run_cli([str(violation_file), "--baseline", str(base)])
+    assert code == 0
+    assert "baselined" in out
+
+
+def test_baseline_blocks_new_findings(violation_file, tmp_path):
+    base = tmp_path / "baseline.json"
+    run_cli([str(violation_file), "--baseline", str(base), "--update-baseline"])
+    violation_file.write_text(
+        violation_file.read_text() + "\n\ndef another(c={}):\n    return c\n"
+    )
+    code, out = run_cli([str(violation_file), "--baseline", str(base)])
+    assert code == 1
+    assert "REP003" in out
+
+
+def test_update_baseline_refuses_to_loosen(violation_file, tmp_path, capsys):
+    base = tmp_path / "baseline.json"
+    run_cli([str(violation_file), "--baseline", str(base), "--update-baseline"])
+    violation_file.write_text(
+        violation_file.read_text() + "\n\ndef another(c={}):\n    return c\n"
+    )
+    code, _ = run_cli(
+        [str(violation_file), "--baseline", str(base), "--update-baseline"]
+    )
+    assert code == 1
+    assert "refusing to loosen" in capsys.readouterr().err
+
+
+def test_update_baseline_ratchets_down(violation_file, tmp_path):
+    base = tmp_path / "baseline.json"
+    run_cli([str(violation_file), "--baseline", str(base), "--update-baseline"])
+    before = json.loads(base.read_text())["baseline"]
+    # fix the mutable default; the re-update must drop its key
+    fixed = violation_file.read_text().replace("def helper(cache={}):", "def helper(cache=None):")
+    violation_file.write_text(fixed)
+    code, _ = run_cli(
+        [str(violation_file), "--baseline", str(base), "--update-baseline"]
+    )
+    assert code == 0
+    after = json.loads(base.read_text())["baseline"]
+    assert len(after) < len(before)
+    assert not any(key.endswith("REP003") for key in after)
+
+
+def test_update_baseline_without_baseline_is_usage_error(violation_file):
+    code, _ = run_cli([str(violation_file), "--update-baseline"])
+    assert code == 2
+
+
+def test_malformed_baseline_is_usage_error(violation_file, tmp_path):
+    base = tmp_path / "baseline.json"
+    base.write_text("{\"not\": \"a baseline\"}")
+    code, _ = run_cli([str(violation_file), "--baseline", str(base)])
+    assert code == 2
+
+
+# ----------------------------------------------------------------------
+# Suppression accounting
+# ----------------------------------------------------------------------
+
+
+def test_suppressed_counts_in_text_output(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(
+        '__all__ = ["f"]\n\n\ndef f(a=[]):  # repro: noqa[REP003]\n    return a\n'
+    )
+    code, out = run_cli([str(target)])
+    assert code == 0
+    assert "1 finding(s) suppressed by noqa" in out
+
+
+def test_suppressed_counts_in_json_output(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(
+        '__all__ = ["f"]\n\n\ndef f(a=[]):  # repro: noqa[REP003]\n    return a\n'
+    )
+    code, out = run_cli([str(target), "--format", "json"])
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["counts"]["suppressed"] == 1
+    assert doc["counts"]["suppressed_by_code"] == {"REP003": 1}
+
+
+def test_suppressed_statistics_listing(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(
+        '__all__ = ["f"]\n\n\ndef f(a=[]):  # repro: noqa[REP003]\n    return a\n'
+    )
+    code, out = run_cli([str(target), "--statistics"])
+    assert code == 0
+    assert "REP003: 1 suppressed" in out
+
+
+# ----------------------------------------------------------------------
+# Runner edge paths
+# ----------------------------------------------------------------------
+
+
+def test_multi_rule_noqa_suppresses_only_listed(tmp_path):
+    from repro.check import analyze_source
+
+    # one line tripping two rules: REP003 (mutable default) and REP001
+    # (float literal reaching a coordinate); a multi-code directive on
+    # that line must suppress both, and nothing else
+    source = textwrap.dedent(
+        """\
+        __all__ = ["f", "g"]
+
+
+        def f(a=[]): return Rect(0, 0, 10.5, 2)  # repro: noqa[REP001,REP003]
+
+
+        def g():
+            try:
+                return 1
+            except:
+                pass
+        """
+    )
+    result = analyze_source(source, path="src/repro/geometry/m.py")
+    assert all(f.code not in ("REP001", "REP003") for f in result.findings)
+    # REP004 is on a different line and stays
+    assert [f.code for f in result.findings] == ["REP004"]
+    assert result.suppressed == 2
+    assert result.suppressed_by_code == {"REP001": 1, "REP003": 1}
+
+
+def test_rep000_syntax_error_location(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n    pass\n")
+    code, out = run_cli([str(target), "--format", "json"])
+    assert code == 1
+    doc = json.loads(out)
+    assert [f["code"] for f in doc["findings"]] == ["REP000"]
+    finding = doc["findings"][0]
+    assert finding["path"] == str(target)
+    assert finding["line"] == 1
+    assert finding["severity"] == "error"
+    assert "syntax error" in finding["message"]
+
+
+def test_unreadable_file_reported_with_exit_one(tmp_path):
+    # a dangling symlink named *.py is discovered but cannot be read
+    # (permission traps don't work under root, which ignores modes)
+    trap = tmp_path / "trap.py"
+    trap.symlink_to(tmp_path / "does-not-exist")
+    (tmp_path / "ok.py").write_text('__all__ = ["g"]\n\n\ndef g():\n    return 1\n')
+    code, out = run_cli([str(trap), str(tmp_path / "ok.py"), "--format", "json"])
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["checked_files"] == 2
+    assert [f["code"] for f in doc["findings"]] == ["REP000"]
+    assert "cannot read" in doc["findings"][0]["message"]
+
+
+def test_undecodable_file_reported(tmp_path):
+    target = tmp_path / "binary.py"
+    target.write_bytes(b"\xff\xfe\x00bad bytes\x00")
+    code, out = run_cli([str(target)])
+    assert code == 1
+    assert "REP000" in out

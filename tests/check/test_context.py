@@ -1,0 +1,168 @@
+"""Unit tests for the AnalysisContext dataflow view behind REP008+."""
+
+import ast
+import textwrap
+
+from repro.check import AnalysisContext
+
+
+def build(source, path="src/repro/core/candidates.py"):
+    return AnalysisContext(ast.parse(textwrap.dedent(source)), path)
+
+
+class TestImportResolution:
+    def test_absolute_from_import(self):
+        ctx = build("from repro.parallel import run_sharded\n")
+        assert ctx.imports["run_sharded"] == "repro.parallel.run_sharded"
+
+    def test_from_import_with_alias(self):
+        ctx = build("from repro.parallel import run_sharded as rs\n")
+        assert ctx.imports["rs"] == "repro.parallel.run_sharded"
+
+    def test_plain_import_binds_top_package(self):
+        ctx = build("import os.path\n")
+        assert ctx.imports["os"] == "os"
+
+    def test_import_as(self):
+        ctx = build("import numpy as np\n")
+        assert ctx.imports["np"] == "numpy"
+
+    def test_relative_import_resolved_from_path(self):
+        # src/repro/core/candidates.py: `..parallel` is repro.parallel
+        ctx = build("from ..parallel import run_sharded\n")
+        assert ctx.imports["run_sharded"] == "repro.parallel.run_sharded"
+
+    def test_single_dot_relative_import(self):
+        ctx = build("from .config import FillConfig\n")
+        assert ctx.imports["FillConfig"] == "repro.core.config.FillConfig"
+
+    def test_relative_import_from_package_init(self):
+        ctx = build(
+            "from .executor import run_sharded\n",
+            path="src/repro/parallel/__init__.py",
+        )
+        assert ctx.imports["run_sharded"] == "repro.parallel.executor.run_sharded"
+
+    def test_import_inside_function_is_seen_at_call_sites(self):
+        src = """\
+        def main(shared, shards):
+            from ..parallel import run_sharded
+            return run_sharded(worker, shared, shards, workers=2)
+        """
+        ctx = build(src)
+        assert len(ctx.sharded_calls) == 1
+
+
+class TestResolve:
+    def test_resolves_imported_name(self):
+        ctx = build("from repro.parallel import run_sharded\n")
+        node = ast.parse("run_sharded", mode="eval").body
+        assert ctx.resolve(node) == "repro.parallel.run_sharded"
+
+    def test_resolves_attribute_chain(self):
+        ctx = build("import os\n")
+        node = ast.parse("os.fork", mode="eval").body
+        assert ctx.resolve(node) == "os.fork"
+
+    def test_local_variable_resolves_to_none(self):
+        ctx = build("x = 1\n")
+        node = ast.parse("y", mode="eval").body
+        assert ctx.resolve(node) is None
+
+    def test_module_level_function_gets_package_prefix(self):
+        ctx = build("def worker(shared, shard):\n    return shard\n")
+        node = ast.parse("worker", mode="eval").body
+        assert ctx.resolve(node) == "repro.core.candidates.worker"
+
+    def test_resolves_to_suffix_match(self):
+        ctx = build("from ..parallel import run_sharded\n")
+        node = ast.parse("run_sharded", mode="eval").body
+        assert ctx.resolves_to(node, "parallel.run_sharded")
+
+
+class TestSymbolTable:
+    def test_module_functions_and_classes(self):
+        ctx = build("def f():\n    pass\nclass C:\n    pass\nX = 3\n")
+        assert "f" in ctx.functions
+        assert "C" in ctx.classes
+        assert isinstance(ctx.assignments["X"], ast.Constant)
+
+    def test_nested_function_recorded_with_enclosing_scope(self):
+        src = """\
+        def outer():
+            def inner(shared, shard):
+                return shard
+            return inner
+        """
+        ctx = build(src)
+        qualname, fn = ctx.nested_function("inner")
+        assert qualname == "outer"
+        assert fn.name == "inner"
+
+    def test_nested_class_recorded(self):
+        src = """\
+        def main():
+            class State:
+                pass
+            return State()
+        """
+        ctx = build(src)
+        qualname, cls = ctx.nested_class("State")
+        assert qualname == "main"
+        assert cls.name == "State"
+
+    def test_value_of_traces_last_assignment_in_function(self):
+        src = """\
+        def main():
+            shared = OldState()
+            shared = NewState()
+            return shared
+        """
+        ctx = build(src)
+        value = ctx.value_of("shared", "main")
+        assert isinstance(value, ast.Call)
+        assert value.func.id == "NewState"
+
+    def test_value_of_falls_back_to_module_level(self):
+        ctx = build("SHARED = make()\ndef main():\n    return SHARED\n")
+        value = ctx.value_of("SHARED", "main")
+        assert isinstance(value, ast.Call)
+
+
+class TestShardedCallTracking:
+    def test_positional_fn_and_shared(self):
+        src = """\
+        from repro.parallel import run_sharded
+
+        def main(shared, shards):
+            return run_sharded(worker, shared, shards, workers=2)
+        """
+        ctx = build(src)
+        assert len(ctx.sharded_calls) == 1
+        call = ctx.sharded_calls[0]
+        assert isinstance(call.fn, ast.Name) and call.fn.id == "worker"
+        assert isinstance(call.shared, ast.Name) and call.shared.id == "shared"
+        assert call.enclosing == "main"
+
+    def test_keyword_fn_and_shared(self):
+        src = """\
+        from repro.parallel import run_sharded
+        run_sharded(fn=worker, shared=state, shards=[[1]], workers=2)
+        """
+        ctx = build(src)
+        call = ctx.sharded_calls[0]
+        assert call.fn.id == "worker"
+        assert call.shared.id == "state"
+        assert call.enclosing == ""
+
+    def test_module_qualified_call(self):
+        src = """\
+        from repro import parallel
+        parallel.run_sharded(worker, state, [[1]], workers=2)
+        """
+        ctx = build(src)
+        assert len(ctx.sharded_calls) == 1
+
+    def test_unrelated_call_not_tracked(self):
+        ctx = build("def run_sharded_like(x):\n    pass\nrun_sharded_like(1)\n")
+        assert ctx.sharded_calls == []

@@ -349,3 +349,413 @@ class TestSuppressionAndErrors:
     def test_ignore_filters_rules(self):
         rules = select_rules(ignore=["REP006"])
         assert all(r.code != "REP006" for r in rules)
+
+
+# ----------------------------------------------------------------------
+# REP008 — raw executors outside repro/parallel
+# ----------------------------------------------------------------------
+
+
+class TestRep008:
+    def test_multiprocessing_import(self):
+        findings = run("REP008", "import multiprocessing\n")
+        assert [f.code for f in findings] == ["REP008"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_multiprocessing_submodule_import(self):
+        findings = run("REP008", "import multiprocessing.pool\n")
+        assert len(findings) == 1
+
+    def test_concurrent_futures_from_import(self):
+        findings = run(
+            "REP008", "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        assert [f.code for f in findings] == ["REP008"]
+
+    def test_os_fork_call(self):
+        findings = run("REP008", "import os\npid = os.fork()\n")
+        assert [f.code for f in findings] == ["REP008"]
+        assert "os.fork" in findings[0].message
+
+    def test_os_fork_from_import(self):
+        findings = run("REP008", "from os import fork\n")
+        assert len(findings) == 1
+
+    def test_repro_parallel_package_exempt(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert run("REP008", src, "src/repro/parallel/executor.py") == []
+
+    def test_run_sharded_usage_is_clean(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "out = run_sharded(fn, shared, shards, workers=2)\n"
+        )
+        assert run("REP008", src) == []
+
+    def test_other_os_functions_clean(self):
+        assert run("REP008", "import os\nn = os.cpu_count()\n") == []
+
+    def test_noqa_suppresses(self):
+        assert run("REP008", "import multiprocessing  # repro: noqa[REP008]\n") == []
+
+
+# ----------------------------------------------------------------------
+# REP009 — shard-worker purity
+# ----------------------------------------------------------------------
+
+# the PR-5 bug shape: a worker accumulating into the shared state it
+# was shipped, so results depend on which shards ran on which worker
+_PR5_SHAPE = """\
+from repro.parallel import run_sharded
+
+def _generate_shard(shared, tasks):
+    out = []
+    for task in tasks:
+        shared.cache.append(task.key)
+        out.append((task.key, work(task)))
+    return out
+
+def generate(shared, tasks, workers):
+    return run_sharded(_generate_shard, shared, [tasks], workers=workers)
+"""
+
+
+class TestRep009:
+    def test_pr5_shared_mutation_shape(self):
+        findings = run("REP009", _PR5_SHAPE)
+        assert [f.code for f in findings] == ["REP009"]
+        assert findings[0].severity is Severity.ERROR
+        assert "shared" in findings[0].message
+        assert "append" in findings[0].message
+
+    def test_subscript_write_to_shared(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    shared['hits'] = len(shard)\n"
+            "    return shard\n"
+            "def main(shared):\n"
+            "    run_sharded(worker, shared, [[1]], workers=2)\n"
+        )
+        findings = run("REP009", src)
+        assert [f.code for f in findings] == ["REP009"]
+        assert "write to shared state" in findings[0].message
+
+    def test_attribute_write_to_shared(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(state, shard):\n"
+            "    state.total += len(shard)\n"
+            "    return shard\n"
+            "run_sharded(worker, make_state(), [[1]], workers=2)\n"
+        )
+        assert [f.code for f in run("REP009", src)] == ["REP009"]
+
+    def test_global_rebinding_in_worker(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    global _COUNT\n"
+            "    _COUNT = len(shard)\n"
+            "    return shard\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        findings = run("REP009", src)
+        assert len(findings) == 1
+        assert "global" in findings[0].message
+
+    def test_setattr_on_shared(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    setattr(shared, 'n', len(shard))\n"
+            "    return shard\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        assert len(run("REP009", src)) == 1
+
+    def test_mutation_through_alias(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    cache = shared.cache\n"
+            "    cache.update({1: 2})\n"
+            "    return shard\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        assert len(run("REP009", src)) == 1
+
+    def test_mutation_in_reachable_callee(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def _record(state, key):\n"
+            "    state.seen.add(key)\n"
+            "def worker(shared, shard):\n"
+            "    for item in shard:\n"
+            "        _record(shared, item)\n"
+            "    return shard\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        findings = run("REP009", src)
+        assert len(findings) == 1
+        assert "_record" in findings[0].message
+
+    def test_pure_worker_is_clean(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    out = []\n"
+            "    for item in shard:\n"
+            "        out.append(shared.scale * item)\n"
+            "    return out\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        assert run("REP009", src) == []
+
+    def test_copy_of_shared_may_be_mutated(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def worker(shared, shard):\n"
+            "    mine = list(shared.items)\n"
+            "    mine.append(1)\n"
+            "    return mine\n"
+            "run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        assert run("REP009", src) == []
+
+    def test_unsharded_mutation_not_flagged(self):
+        # mutation is fine in functions never dispatched as workers
+        src = "def accumulate(state, item):\n    state.seen.append(item)\n"
+        assert run("REP009", src) == []
+
+
+# ----------------------------------------------------------------------
+# REP010 — picklability of workers and shared state
+# ----------------------------------------------------------------------
+
+
+class TestRep010:
+    def test_lambda_worker(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "run_sharded(lambda s, shard: shard, None, [[1]], workers=2)\n"
+        )
+        findings = run("REP010", src)
+        assert [f.code for f in findings] == ["REP010"]
+        assert "lambda" in findings[0].message
+
+    def test_closure_worker(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main(scale):\n"
+            "    def worker(shared, shard):\n"
+            "        return [scale * x for x in shard]\n"
+            "    return run_sharded(worker, None, [[1]], workers=2)\n"
+        )
+        findings = run("REP010", src)
+        assert len(findings) == 1
+        assert "closure" in findings[0].message
+        assert "main" in findings[0].message
+
+    def test_partial_worker(self):
+        src = (
+            "import functools\n"
+            "from repro.parallel import run_sharded\n"
+            "run_sharded(functools.partial(f, 2), None, [[1]], workers=2)\n"
+        )
+        findings = run("REP010", src)
+        assert len(findings) == 1
+
+    def test_locally_defined_shared_class(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main():\n"
+            "    class State:\n"
+            "        pass\n"
+            "    shared = State()\n"
+            "    return run_sharded(worker, shared, [[1]], workers=2)\n"
+        )
+        findings = run("REP010", src)
+        assert len(findings) == 1
+        assert "State" in findings[0].message
+
+    def test_shared_dataclass_with_file_handle_field(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from typing import TextIO\n"
+            "from repro.parallel import run_sharded\n"
+            "@dataclass\n"
+            "class Shared:\n"
+            "    log: TextIO\n"
+            "def main(shared):\n"
+            "    shared = Shared(log=open('x'))\n"
+            "    run_sharded(worker, shared, [[1]], workers=2)\n"
+        )
+        findings = run("REP010", src)
+        assert findings
+        assert "TextIO" in findings[0].message
+
+    def test_shared_dataclass_with_lock_default(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from threading import Lock\n"
+            "from repro.parallel import run_sharded\n"
+            "@dataclass\n"
+            "class Shared:\n"
+            "    lock: object = Lock()\n"
+            "run_sharded(worker, Shared(), [[1]], workers=2)\n"
+        )
+        assert run("REP010", src)
+
+    def test_module_level_worker_and_plain_dataclass_clean(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from typing import Tuple\n"
+            "from repro.parallel import run_sharded\n"
+            "@dataclass(frozen=True)\n"
+            "class Shared:\n"
+            "    scale: int\n"
+            "    numbers: Tuple[int, ...] = ()\n"
+            "def worker(shared, shard):\n"
+            "    return [shared.scale * x for x in shard]\n"
+            "def main():\n"
+            "    shared = Shared(scale=2)\n"
+            "    return run_sharded(worker, shared, [[1]], workers=2)\n"
+        )
+        assert run("REP010", src) == []
+
+
+# ----------------------------------------------------------------------
+# REP011 — unordered iteration / unseeded randomness
+# ----------------------------------------------------------------------
+
+
+class TestRep011:
+    PATH = "src/repro/density/analysis.py"
+
+    def test_for_over_set_literal(self):
+        findings = run("REP011", "for x in {1, 2, 3}:\n    emit(x)\n", self.PATH)
+        assert [f.code for f in findings] == ["REP011"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_for_over_set_variable(self):
+        src = "keys = set(pairs)\nfor k in keys:\n    emit(k)\n"
+        assert len(run("REP011", src, self.PATH)) == 1
+
+    def test_comprehension_over_set(self):
+        src = "out = [f(x) for x in {1, 2}]\n"
+        assert len(run("REP011", src, self.PATH)) == 1
+
+    def test_sum_over_set(self):
+        src = "total = sum({a, b})\n"
+        assert len(run("REP011", src, self.PATH)) == 1
+
+    def test_set_union_iteration(self):
+        src = "a = set(x)\nb = set(y)\nfor k in a | b:\n    emit(k)\n"
+        assert len(run("REP011", src, self.PATH)) == 1
+
+    def test_sorted_set_is_clean(self):
+        src = "keys = set(pairs)\nfor k in sorted(keys):\n    emit(k)\n"
+        assert run("REP011", src, self.PATH) == []
+
+    def test_membership_and_len_clean(self):
+        src = "seen = set(keys)\nif k in seen:\n    n = len(seen)\n"
+        assert run("REP011", src, self.PATH) == []
+
+    def test_unseeded_random_call(self):
+        src = "import random\nx = random.random()\n"
+        findings = run("REP011", src, self.PATH)
+        assert len(findings) == 1
+        assert "random.random" in findings[0].message
+
+    def test_unseeded_shuffle_from_import(self):
+        src = "from random import shuffle\nshuffle(items)\n"
+        assert len(run("REP011", src, self.PATH)) == 1
+
+    def test_seeded_rng_instance_clean(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert run("REP011", src, self.PATH) == []
+
+    def test_out_of_scope_file_ignored(self):
+        src = "for x in {1, 2}:\n    emit(x)\n"
+        assert run("REP011", src, "src/repro/viz.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "for x in {1, 2}:  # repro: noqa[REP011]\n    emit(x)\n"
+        assert run("REP011", src, self.PATH) == []
+
+
+# ----------------------------------------------------------------------
+# REP012 — float merge order across shard boundaries
+# ----------------------------------------------------------------------
+
+
+class TestRep012:
+    def test_sum_over_results_variable(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main(shared, shards):\n"
+            "    results = run_sharded(worker, shared, shards, workers=2)\n"
+            "    return sum(results)\n"
+        )
+        findings = run("REP012", src)
+        assert [f.code for f in findings] == ["REP012"]
+        assert findings[0].severity is Severity.WARNING
+        assert "fsum" in findings[0].message
+
+    def test_sum_over_direct_call(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "total = sum(run_sharded(worker, None, shards, workers=2))\n"
+        )
+        assert len(run("REP012", src)) == 1
+
+    def test_sum_over_genexp_of_results(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main(shards):\n"
+            "    results = run_sharded(worker, None, shards, workers=2)\n"
+            "    return sum(r.area for r in results)\n"
+        )
+        assert len(run("REP012", src)) == 1
+
+    def test_augassign_fold_over_results(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main(shards):\n"
+            "    total = 0.0\n"
+            "    results = run_sharded(worker, None, shards, workers=2)\n"
+            "    for r in results:\n"
+            "        total += r\n"
+            "    return total\n"
+        )
+        findings = run("REP012", src)
+        assert len(findings) == 1
+        assert "+=" in findings[0].message
+
+    def test_math_fsum_is_clean(self):
+        src = (
+            "import math\n"
+            "from repro.parallel import run_sharded\n"
+            "def main(shards):\n"
+            "    results = run_sharded(worker, None, shards, workers=2)\n"
+            "    return math.fsum(results)\n"
+        )
+        assert run("REP012", src) == []
+
+    def test_order_preserving_reassembly_is_clean(self):
+        src = (
+            "from repro.parallel import run_sharded\n"
+            "def main(shards):\n"
+            "    results = run_sharded(worker, None, shards, workers=2)\n"
+            "    flat = [x for shard in results for x in shard]\n"
+            "    return flat\n"
+        )
+        assert run("REP012", src) == []
+
+    def test_sum_of_unrelated_list_is_clean(self):
+        src = "def main(values):\n    return sum(values)\n"
+        assert run("REP012", src) == []
+
+    def test_module_without_run_sharded_skipped(self):
+        assert run("REP012", "total = sum(results)\n") == []

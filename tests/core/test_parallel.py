@@ -8,7 +8,7 @@ iteration order and results merge in shard order, so parallelism can
 only change wall clock, never bytes.
 """
 
-import multiprocessing
+import multiprocessing  # repro: noqa[REP008] (exercises the executor's own pool)
 import os
 import random
 
@@ -158,7 +158,7 @@ def _raise_in_worker_only(shared, shard):
 
 
 def _process_pool_works():
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import ProcessPoolExecutor  # repro: noqa[REP008]
 
     try:
         with ProcessPoolExecutor(max_workers=1) as pool:
