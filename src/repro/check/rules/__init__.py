@@ -43,6 +43,7 @@ from .invariants import (
 )
 from .parallel_safety import (
     RawExecutorRule,
+    ThreadOwnershipRule,
     ShardPicklabilityRule,
     ShardWorkerPurityRule,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "ExportConsistencyRule",
     "RawTimerRule",
     "RawExecutorRule",
+    "ThreadOwnershipRule",
     "ShardWorkerPurityRule",
     "ShardPicklabilityRule",
     "UnorderedIterationRule",

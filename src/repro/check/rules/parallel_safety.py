@@ -1,4 +1,4 @@
-"""Parallel-safety rules: REP008–REP010.
+"""Parallel-safety rules: REP008–REP010 and REP013.
 
 The sharded pipeline's bit-identical GDSII contract (see
 ``docs/PERFORMANCE.md``) holds only while shard workers are pure,
@@ -19,6 +19,13 @@ state dispatched through them:
   module-level (no lambdas, closures or locally-defined classes), and
   shared dataclasses must not carry file handles, locks, tracers or
   threads.
+* **REP013** — thread ownership: long-lived ``threading.Thread`` /
+  ``queue.Queue`` machinery lives only in the modules built to
+  supervise it — ``repro/parallel`` (executor backends),
+  ``repro/service`` (job queue + worker supervisor + socket server)
+  and ``repro/obs`` (RSS sampler).  Compute code that wants
+  concurrency goes through ``run_sharded`` or the service, where
+  spans/metrics are adopted and crashes are supervised.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ __all__ = [
     "RawExecutorRule",
     "ShardWorkerPurityRule",
     "ShardPicklabilityRule",
+    "ThreadOwnershipRule",
 ]
 
 
@@ -509,6 +517,63 @@ class ShardPicklabilityRule(Rule):
                             f"shared dataclass {cls.name!r} default_factory "
                             f"{kw.value.id!r} builds an unpicklable object",
                         )
+
+
+# ----------------------------------------------------------------------
+# REP013 — thread ownership: threads and queues live with a supervisor
+# ----------------------------------------------------------------------
+
+#: constructors that spawn or feed long-lived threads
+_THREAD_QUEUE_CALLS = {
+    "threading.Thread",
+    "threading.Timer",
+    "queue.Queue",
+    "queue.SimpleQueue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "_thread.start_new_thread",
+}
+
+
+@register
+class ThreadOwnershipRule(Rule):
+    """Raw thread/queue construction outside a supervising module.
+
+    An ad-hoc ``threading.Thread`` in compute code escapes every
+    contract the repo's concurrency machinery provides: its spans and
+    metrics land on the thread's default tracer instead of the run
+    record, nothing respawns it when it dies, and its timing leaks
+    into results in completion order.  The supervised homes —
+    ``repro/parallel`` (executor backends), ``repro/service`` (job
+    queue, worker supervisor, socket server) and ``repro/obs`` (RSS
+    sampler) — install tracers/registries on their threads and own
+    their lifecycle; everything else dispatches through them.
+    Synchronisation primitives (locks, conditions, events) are fine
+    anywhere — only thread *spawning* and work *queues* are scoped.
+    """
+
+    code = "REP013"
+    summary = "threading.Thread/queue.Queue outside repro/parallel, repro/service, repro/obs"
+    default_severity = Severity.ERROR
+    #: the sanctioned homes of thread supervision
+    allowed = ("repro/parallel/", "repro/service/", "repro/obs/")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.in_scope(self.allowed)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.analysis.resolve(node.func)
+            if resolved in _THREAD_QUEUE_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw {resolved}() outside a supervising module; "
+                    "dispatch through repro.parallel.run_sharded or the "
+                    "repro.service worker pool",
+                )
 
 
 def _is_dataclass(cls: ast.ClassDef) -> bool:

@@ -8,8 +8,12 @@ this CLI exposes the same workflow:
 * ``fill``     — insert dummy fill into a GDSII file (the main tool),
 * ``score``    — score a filled GDSII against contest-style weights,
 * ``drc``      — check the fills of a GDSII for rule violations,
-* ``trace``    — render/diff run records written by ``--trace-out``
-  (forwards to ``python -m repro.obs``),
+* ``eco``      — commit new wires to a filled GDSII and incrementally
+  re-fill only the windows the change dirtied (:mod:`repro.eco`),
+* ``serve``    — run the persistent fill service: sessions, batch job
+  queue, NDJSON socket protocol (:mod:`repro.service`),
+* ``trace``    — render/diff/export run records written by
+  ``--trace-out`` (forwards to ``python -m repro.obs``),
 * ``bench``    — record and gate benchmark score/perf trajectories
   (forwards to ``python -m repro.bench``).
 
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import logging
 import sys
 from pathlib import Path
@@ -46,6 +51,53 @@ def _add_rules_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--min-width", type=int, default=10)
     group.add_argument("--min-area", type=int, default=400)
     group.add_argument("--max-fill", type=int, default=150, help="max fill edge")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("engine")
+    group.add_argument("--eta", type=float, default=0.2, help="overlay weight")
+    group.add_argument("--lambda", dest="lambda_factor", type=float, default=1.1)
+    group.add_argument("--gamma", type=float, default=1.0)
+    group.add_argument(
+        "--solver",
+        choices=("mcf-ssp", "mcf-simplex", "mcf-costscaling", "lp"),
+        default="mcf-ssp",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers for the sharded engine stages — density "
+        "analysis (per layer), candidate generation and sizing (per "
+        "window) (1 = serial, 0 = one per core; output is identical "
+        "for any N)",
+    )
+    group.add_argument(
+        "--parallel",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="execution backend when --workers != 1 (default: process)",
+    )
+    group.add_argument(
+        "--sanitize",
+        action="store_true",
+        default=None,
+        help="arm the shard sanitizer: digest shared state around every "
+        "shard worker and fail loudly if a worker mutates it (default: "
+        "follow REPRO_SANITIZE=shard in the environment)",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> "FillConfig":
+    return FillConfig(
+        eta=args.eta,
+        lambda_factor=args.lambda_factor,
+        gamma=args.gamma,
+        solver=args.solver,
+        workers=args.workers,
+        parallel=args.parallel,
+        sanitize=args.sanitize,
+    )
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -117,37 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     fill.add_argument("input", type=Path)
     fill.add_argument("output", type=Path)
     fill.add_argument("--windows", type=int, default=8)
-    fill.add_argument("--eta", type=float, default=0.2, help="overlay weight")
-    fill.add_argument("--lambda", dest="lambda_factor", type=float, default=1.1)
-    fill.add_argument("--gamma", type=float, default=1.0)
-    fill.add_argument(
-        "--solver",
-        choices=("mcf-ssp", "mcf-simplex", "mcf-costscaling", "lp"),
-        default="mcf-ssp",
-    )
-    fill.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="parallel workers for the sharded engine stages — density "
-        "analysis (per layer), candidate generation and sizing (per "
-        "window) (1 = serial, 0 = one per core; output is identical "
-        "for any N)",
-    )
-    fill.add_argument(
-        "--parallel",
-        choices=("process", "thread", "serial"),
-        default="process",
-        help="execution backend when --workers != 1 (default: process)",
-    )
-    fill.add_argument(
-        "--sanitize",
-        action="store_true",
-        default=None,
-        help="arm the shard sanitizer: digest shared state around every "
-        "shard worker and fail loudly if a worker mutates it (default: "
-        "follow REPRO_SANITIZE=shard in the environment)",
-    )
+    _add_engine_args(fill)
     fill.add_argument(
         "--report",
         type=Path,
@@ -172,6 +194,32 @@ def build_parser() -> argparse.ArgumentParser:
     drc.add_argument("input", type=Path)
     _add_rules_args(drc)
     _add_obs_args(drc)
+
+    eco = sub.add_parser(
+        "eco",
+        help="commit new wires to a filled GDSII and re-fill only the "
+        "dirtied windows",
+    )
+    eco.add_argument("input", type=Path, help="filled GDSII")
+    eco.add_argument(
+        "wires",
+        type=Path,
+        help='JSON wire spec: {"<layer>": [[xl, yl, xh, yh], ...], ...}',
+    )
+    eco.add_argument("output", type=Path, help="patched GDSII path")
+    eco.add_argument("--windows", type=int, default=8)
+    _add_engine_args(eco)
+    _add_rules_args(eco)
+    _add_obs_args(eco)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent fill service (NDJSON over a local socket)",
+    )
+    from .service.cli import configure_parser as _configure_serve
+
+    _configure_serve(serve)
+    _add_obs_args(serve)
 
     trace = sub.add_parser(
         "trace",
@@ -241,16 +289,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         with obs.span("io.read"):
             layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
         grid = _grid_from(args, layout)
-        config = FillConfig(
-            eta=args.eta,
-            lambda_factor=args.lambda_factor,
-            gamma=args.gamma,
-            solver=args.solver,
-            workers=args.workers,
-            parallel=args.parallel,
-            sanitize=args.sanitize,
-        )
-        report = DummyFillEngine(config).run(layout, grid)
+        report = DummyFillEngine(_config_from(args)).run(layout, grid)
         with obs.span("drc"):
             violations = layout.check_drc()
         with obs.span("io.write"):
@@ -302,6 +341,34 @@ def _cmd_drc(args: argparse.Namespace) -> int:
     return 0 if not violations else 2
 
 
+def _cmd_eco(args: argparse.Namespace) -> int:
+    with _observed(args, label="repro eco"):
+        from .eco import apply_eco, wires_from_json
+
+        with obs.span("io.read"):
+            layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
+            new_wires = wires_from_json(json.loads(args.wires.read_text()))
+        grid = _grid_from(args, layout)
+        report = apply_eco(layout, grid, new_wires, _config_from(args))
+        with obs.span("drc"):
+            violations = layout.check_drc()
+        with obs.span("io.write"):
+            args.output.write_bytes(gdsii_bytes(layout))
+        print(report.summary())
+        print(
+            f"wrote {args.output}: {layout.num_fills} fills, "
+            f"{args.output.stat().st_size} bytes, {len(violations)} DRC violations"
+        )
+    return 0 if not violations else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.cli import run_serve
+
+    with _observed(args, label="repro serve"):
+        return run_serve(args)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.cli import main as obs_main
 
@@ -320,6 +387,8 @@ _COMMANDS = {
     "fill": _cmd_fill,
     "score": _cmd_score,
     "drc": _cmd_drc,
+    "eco": _cmd_eco,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

@@ -2,6 +2,7 @@
 
 from .candidates import (
     CandidatePlan,
+    build_wire_indexes,
     candidate_area_maps,
     generate_candidates,
     grid_candidates,
@@ -14,6 +15,7 @@ from .sizing import SizingStats, size_fills, size_window
 
 __all__ = [
     "CandidatePlan",
+    "build_wire_indexes",
     "candidate_area_maps",
     "generate_candidates",
     "grid_candidates",

@@ -40,6 +40,7 @@ __all__ = [
     "grid_candidates",
     "quality_score",
     "CandidatePlan",
+    "build_wire_indexes",
     "generate_candidates",
     "candidate_area_maps",
 ]
@@ -397,11 +398,17 @@ def _generate_shard(
     return out
 
 
-def _wire_indexes(layout: Layout) -> Dict[int, GridIndex[int]]:
+def build_wire_indexes(layout: Layout) -> Dict[int, GridIndex[int]]:
     """One spatial index per layer over its wires, built up front.
 
     Replaces the per-window full-layer wire scans; shared read-only
-    with parallel workers (pickled once per worker).
+    with parallel workers (pickled once per worker).  Also the cache a
+    :class:`repro.service` session keeps alive across requests — pass
+    it back into :func:`generate_candidates` (or
+    :meth:`repro.core.DummyFillEngine.run`) via ``wire_indexes`` to
+    skip the rebuild.  Insertion order is the layer's wire order, so a
+    cached index extended in wire-commit order stays identical to a
+    rebuild.
     """
     cell = max(64, min(layout.die.width, layout.die.height) // 16)
     out: Dict[int, GridIndex[int]] = {}
@@ -420,6 +427,8 @@ def generate_candidates(
     analysis: Mapping[int, LayerDensity],
     config: Optional[FillConfig] = None,
     windows: Optional[Sequence[WindowKey]] = None,
+    *,
+    wire_indexes: Optional[Dict[int, GridIndex[int]]] = None,
 ) -> CandidatePlan:
     """Run Alg. 1 over every window of the layout.
 
@@ -429,6 +438,9 @@ def generate_candidates(
 
     ``windows`` restricts generation to the given window keys (the ECO
     flow re-fills only the windows a change touched).
+    ``wire_indexes`` supplies prebuilt per-layer wire indexes (see
+    :func:`build_wire_indexes`); they must cover exactly the layout's
+    current wires.
 
     Windows are independent by construction, so with
     ``config.workers != 1`` the window list is sharded contiguously in
@@ -439,12 +451,23 @@ def generate_candidates(
     if config is None:
         config = FillConfig()
     numbers = tuple(layout.layer_numbers)
+    if wire_indexes is None:
+        wire_indexes = build_wire_indexes(layout)
+    else:
+        for layer in layout.layers:
+            index = wire_indexes.get(layer.number)
+            if index is None or len(index) != layer.num_wires:
+                have = "missing" if index is None else f"{len(index)} wires"
+                raise ValueError(
+                    f"stale wire index for layer {layer.number}: {have}, "
+                    f"layer has {layer.num_wires}"
+                )
     shared = _SharedState(
         rules=layout.rules,
         config=config,
         numbers=numbers,
         num_layers=layout.num_layers,
-        wire_indexes=_wire_indexes(layout),
+        wire_indexes=wire_indexes,
     )
     selected_windows = set(windows) if windows is not None else None
     tasks: List[_WindowTask] = []
@@ -467,6 +490,7 @@ def generate_candidates(
             )
         )
 
+    obs.count("candidates.windows_selected", len(tasks))
     workers = config.effective_workers()
     if workers == 1 or len(tasks) <= 1:
         pairs = _generate_shard(shared, tasks)

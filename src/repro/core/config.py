@@ -9,8 +9,8 @@ step, and which LP backend solves each pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
 
 __all__ = ["FillConfig"]
 
@@ -122,6 +122,27 @@ class FillConfig:
             raise ValueError("workers cannot be negative (0 means one per core)")
         if self.parallel not in _BACKENDS:
             raise ValueError(f"parallel must be one of {_BACKENDS}")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "FillConfig":
+        """Build a config from a plain dict (a JSON request body).
+
+        Unknown keys raise ``ValueError`` — a misspelled knob in a
+        service request must fail the request, not silently run with
+        defaults.  Values pass through ``__post_init__`` validation
+        exactly like keyword construction.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown config keys {unknown} (known: {sorted(known)})"
+            )
+        return cls(**dict(mapping))
+
+    def as_mapping(self) -> Dict[str, Any]:
+        """The config as a JSON-ready dict; inverse of :meth:`from_mapping`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def effective_margin(self, min_spacing: int) -> int:
         """Window-edge inset: explicit value or ``ceil(sm / 2)``."""

@@ -27,6 +27,7 @@ from .. import obs
 from ..contracts import check_drc_params, check_rect
 from ..density.analysis import LayerDensity, analyze_layout
 from ..density.scoring import ScoreWeights
+from ..geometry import GridIndex
 from ..layout import Layout, WindowGrid
 from .candidates import CandidatePlan, candidate_area_maps, generate_candidates
 from .config import FillConfig
@@ -93,6 +94,9 @@ class DummyFillEngine:
         layout: Layout,
         grid: WindowGrid,
         windows: Optional[Sequence[WindowKey]] = None,
+        *,
+        analysis: Optional[Mapping[int, LayerDensity]] = None,
+        wire_indexes: Optional[Mapping[int, "GridIndex[int]"]] = None,
     ) -> FillReport:
         """Execute the Fig. 3 flow; fills are committed to ``layout``.
 
@@ -100,21 +104,32 @@ class DummyFillEngine:
         insertion to the given window keys while density analysis and
         target planning stay global — the incremental mode the ECO
         flow (:mod:`repro.eco`) uses to re-fill only changed windows.
+
+        ``analysis`` supplies a precomputed global density analysis
+        (one that matches the layout's wires and this config's
+        ``effective_margin``) and skips the analysis stage entirely;
+        ``wire_indexes`` supplies prebuilt per-layer wire indexes for
+        candidate generation.  Both are the session-reuse hooks of
+        :mod:`repro.service` — with valid caches the output is
+        bit-identical to a cold run.
         """
         config = self.config
         check_drc_params(layout.rules, name="layout.rules")
 
         with obs.span("engine.run") as run_span:
-            with obs.span("analysis"):
-                margin = config.effective_margin(layout.rules.min_spacing)
-                analysis = analyze_layout(
-                    layout,
-                    grid,
-                    window_margin=margin,
-                    workers=config.effective_workers(),
-                    parallel=config.parallel,
-                    sanitize=config.sanitize,
-                )
+            with obs.span("analysis") as analysis_span:
+                if analysis is None:
+                    margin = config.effective_margin(layout.rules.min_spacing)
+                    analysis = analyze_layout(
+                        layout,
+                        grid,
+                        window_margin=margin,
+                        workers=config.effective_workers(),
+                        parallel=config.parallel,
+                        sanitize=config.sanitize,
+                    )
+                else:
+                    analysis_span.annotate(reused=True)
                 obs.count("engine.layers", len(analysis))
                 obs.count("engine.windows", grid.num_windows)
 
@@ -129,7 +144,13 @@ class DummyFillEngine:
 
             with obs.span("candidates"):
                 candidates = generate_candidates(
-                    layout, grid, initial_plan, analysis, config, windows=windows
+                    layout,
+                    grid,
+                    initial_plan,
+                    analysis,
+                    config,
+                    windows=windows,
+                    wire_indexes=dict(wire_indexes) if wire_indexes else None,
                 )
                 num_candidates = sum(
                     len(rects)

@@ -32,6 +32,7 @@ __all__ = [
     "LayerDensity",
     "analyze_layer",
     "analyze_layout",
+    "refresh_analysis",
     "overlay_area",
     "overlay_map",
     "fill_overlay_area",
@@ -271,6 +272,75 @@ def analyze_layout(
             for ld in shard_densities
         ]
     return {ld.layer_number: ld for ld in densities}
+
+
+def refresh_analysis(
+    layout: Layout,
+    grid: WindowGrid,
+    cached: Dict[int, LayerDensity],
+    windows: Sequence[Tuple[int, int]],
+    *,
+    layers: Optional[Sequence[int]] = None,
+    window_margin: int = 0,
+) -> Dict[int, LayerDensity]:
+    """Recompute a cached analysis for a subset of windows and layers.
+
+    Density bounds and fill regions read only the layer's *wires*
+    (never its fills), so a cached :func:`analyze_layout` result stays
+    valid until wires change — and a wire change only perturbs the
+    windows within spacing reach of the new geometry.  This is the
+    incremental path the ECO flow and the fill service use: pass the
+    cached per-layer analysis, the dirtied window keys, and the layer
+    numbers whose wires changed; every (layer, window) pair outside
+    that set is carried over untouched, so the result is bit-identical
+    to a fresh global :func:`analyze_layout` of the updated layout.
+
+    ``window_margin`` must match the value the cached analysis was
+    built with (the engine's ``config.effective_margin``).  Input
+    ``LayerDensity`` objects are never mutated; refreshed layers get
+    fresh arrays and region dicts.
+    """
+    rules = layout.rules
+    spacing = rules.min_spacing
+    keys = sorted(set(windows))
+    changed = set(layout.layer_numbers if layers is None else layers)
+    out: Dict[int, LayerDensity] = {}
+    for n in layout.layer_numbers:
+        ld = cached[n]
+        if n not in changed or not keys:
+            out[n] = ld
+            continue
+        layer = layout.layer(n)
+        index = _shape_index(layer.wires, grid.die)
+        lower = ld.lower.copy()
+        upper = ld.upper.copy()
+        regions = dict(ld.fill_regions)
+        for i, j in keys:
+            win = grid.window(i, j)
+            win_area = grid.window_area(i, j)
+            hits = index.query_overlapping(win)
+            if hits:
+                clipped = [r.intersection(win) for r, _ in hits]
+                wire_area = RectSet(c for c in clipped if c is not None).area
+            else:
+                wire_area = 0
+            lower[i, j] = wire_area / win_area
+            inner = win.shrunk(window_margin) if window_margin else win
+            if inner is None:
+                region: List[Rect] = []
+            else:
+                nearby = index.query_within(inner, spacing)
+                bloated = [r.expanded(spacing) for r, _ in nearby]
+                region = rect_set_subtract([inner], bloated)
+            regions[(i, j)] = region
+            upper[i, j] = min(
+                1.0, lower[i, j] + usable_fill_area(region, rules) / win_area
+            )
+        check_density(lower, name=f"layer {n} lower density l(i,j)")
+        check_density(upper, name=f"layer {n} upper density u(i,j)")
+        obs.count("analysis.refreshed_windows", len(keys))
+        out[n] = LayerDensity(n, lower, upper, regions)
+    return out
 
 
 def overlay_area(lower: Layer, upper: Layer) -> int:

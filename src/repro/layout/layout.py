@@ -115,6 +115,19 @@ class Layout:
             out.layer(n).name = self._layers[n].name
         return out
 
+    def copy(self) -> "Layout":
+        """A fresh, independent layout with the same shapes.
+
+        Wires and fills keep their per-layer order, so derived state
+        (spatial indexes, density analyses, GDSII bytes) of the copy is
+        identical to the original's.  Rects are immutable; only the
+        containers are duplicated.
+        """
+        out = self.copy_without_fills()
+        for n in self.layer_numbers:
+            out.layer(n).add_fills(self._layers[n].fills)
+        return out
+
     def __repr__(self) -> str:
         return (
             f"Layout({self.name!r}, die={self.die}, layers={self.num_layers}, "

@@ -24,6 +24,7 @@ See ``docs/OBSERVABILITY.md`` for the model and the JSONL schema.
 """
 
 from . import metrics
+from .export import chrome_trace, chrome_trace_json
 from .metrics import (
     Counter,
     Gauge,
@@ -58,6 +59,8 @@ from .summarize import diff_breaches, diff_records, format_metrics, format_recor
 
 __all__ = [
     "metrics",
+    "chrome_trace",
+    "chrome_trace_json",
     "Counter",
     "Gauge",
     "Histogram",

@@ -9,6 +9,10 @@ Subcommands:
   ``--fail-on PCT`` additionally exits nonzero when the total wall
   clock, peak RSS or any root span grew by more than PCT percent,
   making the diff usable as a standalone CI step.
+* ``export RECORD.jsonl --format chrome`` — convert a record to the
+  Chrome ``trace_event`` JSON format for Perfetto/``chrome://tracing``
+  (see :mod:`repro.obs.export`); ``-o PATH`` writes to a file instead
+  of stdout.
 
 Exit codes: ``0`` ok, ``1`` ``--fail-on`` threshold breached, ``2`` on
 unreadable or malformed records.
@@ -50,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
         "grew by more than PCT percent",
     )
 
+    export = sub.add_parser(
+        "export", help="convert a run record for an external trace viewer"
+    )
+    export.add_argument("record", type=Path, help="run record (JSONL)")
+    export.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="output format (chrome = trace_event JSON for Perfetto)",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        metavar="PATH",
+        help="write here instead of stdout",
+    )
+
     return parser
 
 
@@ -65,6 +87,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "summarize":
             print(format_record(_load(args.record)))
+        elif args.command == "export":
+            from .export import chrome_trace_json
+
+            payload = chrome_trace_json(_load(args.record))
+            if args.output is not None:
+                args.output.write_text(payload + "\n", encoding="utf-8")
+                print(f"wrote {args.format} trace {args.output}")
+            else:
+                print(payload)
         else:
             before, after = _load(args.before), _load(args.after)
             print(diff_records(before, after))

@@ -250,13 +250,16 @@ def annotate(**attrs: Any) -> None:
         sp.annotate(**attrs)
 
 
-def current_offset() -> float:
-    """Seconds elapsed since the active tracer's epoch.
+def current_offset(tracer: Optional[Tracer] = None) -> float:
+    """Seconds elapsed since a tracer's epoch (the active one if omitted).
 
     The value ``start_offset`` of a span opened right now would get;
-    used to rebase externally captured span trees on adoption.
+    used to rebase externally captured span trees on adoption, and by
+    the fill service to timestamp queue entry/exit against the service
+    tracer from threads where a different tracer may be active.
     """
-    tracer = active_tracer()
+    if tracer is None:
+        tracer = active_tracer()
     return time.perf_counter() - tracer._epoch
 
 

@@ -1,0 +1,79 @@
+"""``repro.service`` — persistent fill sessions behind a job queue.
+
+The production-facing layer over the one-shot engine: load a layout
+once into an indexed :class:`FillSession`, then serve many requests
+against it — full ``fill``, ``score``, ``drc_audit``, and ``eco_delta``
+patches that re-analyze and re-fill only the windows a wire change
+dirtied.  Requests flow through a bounded :class:`JobQueue` with
+backpressure and atomic batch submission, executed by a supervised
+worker pool in per-session submission order (so results are
+deterministic — byte-identical to serial CLI runs — at any worker
+count).
+
+Two front doors:
+
+* :class:`ServiceClient` — in-process, for tests and benchmarks,
+* ``repro serve`` + :class:`SocketClient` — newline-delimited JSON
+  over a Unix-domain or localhost TCP socket
+  (:mod:`repro.service.protocol`).
+
+See ``docs/SERVICE.md`` for the API, protocol and session lifecycle.
+"""
+
+from .api import (
+    COMPUTE_OPS,
+    CONTROL_OPS,
+    FillService,
+    ServiceClient,
+    rules_from_mapping,
+)
+from .jobs import (
+    Job,
+    JobError,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+    WorkerSupervisor,
+)
+from .protocol import (
+    ProtocolError,
+    ServiceError,
+    SocketClient,
+    decode_message,
+    encode_message,
+    from_wire,
+    to_wire,
+)
+from .server import ServiceServer
+from .session import (
+    FillSession,
+    SessionClosedError,
+    SessionStore,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "COMPUTE_OPS",
+    "CONTROL_OPS",
+    "FillService",
+    "ServiceClient",
+    "rules_from_mapping",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "QueueClosedError",
+    "QueueFullError",
+    "WorkerSupervisor",
+    "ProtocolError",
+    "ServiceError",
+    "SocketClient",
+    "decode_message",
+    "encode_message",
+    "from_wire",
+    "to_wire",
+    "ServiceServer",
+    "FillSession",
+    "SessionClosedError",
+    "SessionStore",
+    "UnknownSessionError",
+]

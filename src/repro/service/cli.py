@@ -1,0 +1,94 @@
+"""Argument wiring and run loop for ``repro serve``.
+
+Kept here so :mod:`repro.cli` stays a thin command table; the main CLI
+adds the subparser via :func:`configure_parser` and runs the loop via
+:func:`run_serve` inside its usual observation context — meaning
+``repro serve --trace-out trace.jsonl`` produces one run record whose
+roots are the per-request ``service.request`` spans, readable with
+``repro trace summarize`` and exportable with
+``repro trace export --format chrome``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .api import FillService
+from .server import ServiceServer
+
+__all__ = ["configure_parser", "run_serve"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Add the ``repro serve`` arguments to a subparser."""
+    transport = parser.add_argument_group("transport (pick one)")
+    transport.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="serve on a Unix-domain socket at PATH (default: repro.sock)",
+    )
+    transport.add_argument(
+        "--port",
+        type=int,
+        metavar="N",
+        help="serve on localhost TCP port N instead (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="service worker threads executing queued requests "
+        "(default: 2; per-session order is kept for any N)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="job queue capacity; full queues reject with an error "
+        "response instead of buffering (default: 64)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        metavar="N",
+        help="open sessions kept before LRU eviction (default: 8)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="per-request wait bound before answering with an error "
+        "(default: 600)",
+    )
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the service and serve until a client sends ``shutdown``."""
+    if args.socket is not None and args.port is not None:
+        raise SystemExit("repro serve: pass only one of --socket/--port")
+    socket_path = args.socket if args.port is None else None
+    if socket_path is None and args.port is None:
+        socket_path = "repro.sock"
+
+    service = FillService(
+        workers=args.serve_workers,
+        max_sessions=args.max_sessions,
+        queue_size=args.queue_size,
+        request_timeout=args.request_timeout,
+    )
+    with service:
+        server = ServiceServer(service, socket_path=socket_path, port=args.port)
+        with server:
+            print(
+                f"serving on {server.address} "
+                f"(workers={service.workers}, queue={args.queue_size}, "
+                f"sessions<={args.max_sessions}); send op=shutdown to stop",
+                flush=True,
+            )
+            server.wait_shutdown()
+    print("shutdown requested; server stopped", flush=True)
+    return 0

@@ -759,3 +759,71 @@ class TestRep012:
 
     def test_module_without_run_sharded_skipped(self):
         assert run("REP012", "total = sum(results)\n") == []
+
+
+# ----------------------------------------------------------------------
+# REP013 — thread/queue ownership
+# ----------------------------------------------------------------------
+
+
+class TestRep013:
+    def test_raw_thread_in_compute_code(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(target=work)\n"
+        )
+        findings = run("REP013", src, "src/repro/core/engine.py")
+        assert [f.code for f in findings] == ["REP013"]
+        assert findings[0].severity is Severity.ERROR
+        assert "threading.Thread" in findings[0].message
+
+    def test_thread_from_import(self):
+        src = (
+            "from threading import Thread\n"
+            "t = Thread(target=work)\n"
+        )
+        findings = run("REP013", src, "src/repro/density/analysis.py")
+        assert len(findings) == 1
+
+    def test_raw_queue(self):
+        src = "import queue\nq = queue.Queue(maxsize=8)\n"
+        findings = run("REP013", src, "src/repro/core/engine.py")
+        assert [f.code for f in findings] == ["REP013"]
+
+    def test_service_package_exempt(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(target=work, daemon=True)\n"
+        )
+        assert run("REP013", src, "src/repro/service/jobs.py") == []
+
+    def test_parallel_package_exempt(self):
+        src = "import queue\nq = queue.Queue()\n"
+        assert run("REP013", src, "src/repro/parallel/executor.py") == []
+
+    def test_obs_package_exempt(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(target=sample, daemon=True)\n"
+        )
+        assert run("REP013", src, "src/repro/obs/rss.py") == []
+
+    def test_locks_are_clean_anywhere(self):
+        src = (
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "cond = threading.Condition(lock)\n"
+            "evt = threading.Event()\n"
+        )
+        assert run("REP013", src, "src/repro/core/engine.py") == []
+
+    def test_unrelated_queue_name_clean(self):
+        src = "def queue_work(q):\n    q.append(1)\n"
+        assert run("REP013", src, "src/repro/core/engine.py") == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "import threading\n"
+            "t = threading.Thread(target=work)  # repro: noqa[REP013]\n"
+        )
+        assert run("REP013", src, "src/repro/core/engine.py") == []

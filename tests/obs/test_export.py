@@ -1,0 +1,127 @@
+"""Tests for the Chrome trace_event exporter and its CLI."""
+
+import json
+
+from repro import obs
+from repro.obs import chrome_trace, chrome_trace_json
+from repro.obs.cli import main as obs_main
+from repro.obs.record import RunRecord
+
+
+def _recorded(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.record_run(path, label="export test") as rec:
+        with obs.span("engine.run"):
+            with obs.span("analysis"):
+                obs.count("windows", 16)
+            with obs.span("sizing"):
+                pass
+        with obs.span("io.write"):
+            pass
+    return path, rec.record
+
+
+def _complete_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+
+class TestChromeTrace:
+    def test_every_span_becomes_a_complete_event(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        events = _complete_events(chrome_trace(record))
+        assert [e["name"] for e in events] == [
+            "engine.run",
+            "analysis",
+            "sizing",
+            "io.write",
+        ]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_microsecond_scaling(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        trace = chrome_trace(record)
+        by_name = {e["name"]: e for e in _complete_events(trace)}
+        for span in record.spans:
+            event = by_name[span["name"]]
+            assert event["ts"] == round(span["start_offset"] * 1e6, 3)
+            assert event["dur"] == round(span["seconds"] * 1e6, 3)
+
+    def test_counters_and_attrs_ride_in_args(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        by_name = {e["name"]: e for e in _complete_events(chrome_trace(record))}
+        assert by_name["analysis"]["args"] == {"windows": 16.0}
+
+    def test_metadata_names_the_process(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        trace = chrome_trace(record)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name"
+            and e["args"]["name"] == "export test"
+            for e in meta
+        )
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_sequential_roots_share_a_lane(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        by_name = {e["name"]: e for e in _complete_events(chrome_trace(record))}
+        assert by_name["engine.run"]["tid"] == by_name["io.write"]["tid"]
+
+    def test_overlapping_roots_get_distinct_lanes(self):
+        record = RunRecord(
+            meta={"label": "overlap"},
+            spans=[
+                {"name": "request.a", "seconds": 2.0, "depth": 0,
+                 "start_offset": 0.0, "status": "ok"},
+                {"name": "request.b", "seconds": 2.0, "depth": 0,
+                 "start_offset": 1.0, "status": "ok"},
+                {"name": "request.c", "seconds": 1.0, "depth": 0,
+                 "start_offset": 2.5, "status": "ok"},
+            ],
+            summary={"seconds": 3.5},
+        )
+        by_name = {e["name"]: e for e in _complete_events(chrome_trace(record))}
+        assert by_name["request.a"]["tid"] != by_name["request.b"]["tid"]
+        # c starts after a finished: it reuses a's lane
+        assert by_name["request.c"]["tid"] == by_name["request.a"]["tid"]
+
+    def test_error_status_surfaces_in_args(self):
+        record = RunRecord(
+            meta={"label": "err"},
+            spans=[
+                {"name": "boom", "seconds": 0.1, "depth": 0,
+                 "start_offset": 0.0, "status": "error", "error": "ValueError"},
+            ],
+            summary={"seconds": 0.1},
+        )
+        (event,) = _complete_events(chrome_trace(record))
+        assert event["args"]["status"] == "error"
+        assert event["args"]["error"] == "ValueError"
+
+    def test_json_form_is_loadable(self, tmp_path):
+        _, record = _recorded(tmp_path)
+        parsed = json.loads(chrome_trace_json(record))
+        assert parsed["otherData"]["label"] == "export test"
+
+
+class TestExportCli:
+    def test_export_to_file(self, tmp_path, capsys):
+        path, _ = _recorded(tmp_path)
+        out = tmp_path / "trace.json"
+        assert obs_main(["export", str(path), "--format", "chrome", "-o", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert "wrote chrome trace" in capsys.readouterr().out
+
+    def test_export_to_stdout(self, tmp_path, capsys):
+        path, _ = _recorded(tmp_path)
+        assert obs_main(["export", str(path)]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_unreadable_record_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert obs_main(["export", str(missing)]) == 2

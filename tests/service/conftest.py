@@ -1,0 +1,41 @@
+"""Shared fixtures for the fill-service suite.
+
+One small two-layer layout (the same shape the ECO tests use) serialized
+to GDSII bytes, plus the rules/config mappings every test passes to
+``open_session`` so service runs and reference CLI-path runs agree on
+every parameter.
+"""
+
+import random
+
+import pytest
+
+from repro.gdsii import gdsii_bytes
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout
+
+#: mirrors the rules mapping below — used by reference (non-service) runs
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+#: request-side rules for open_session, equal to RULES
+RULES_MAPPING = {"min_spacing": 10, "min_width": 10, "min_area": 200, "max_fill": 100}
+
+#: request-side engine config; workers=1 keeps the suite fast and serial
+CONFIG_MAPPING = {"workers": 1, "parallel": "serial"}
+
+
+def make_layout(seed=9):
+    rng = random.Random(seed)
+    layout = Layout(Rect(0, 0, 1200, 1200), num_layers=2, rules=RULES, name="svc")
+    for n in layout.layer_numbers:
+        for _ in range(40):
+            x, y = rng.randrange(0, 1100), rng.randrange(0, 1150)
+            layout.layer(n).add_wire(Rect(x, y, min(1200, x + 90), min(1200, y + 30)))
+    return layout
+
+
+@pytest.fixture(scope="session")
+def gds_bytes():
+    return gdsii_bytes(make_layout())

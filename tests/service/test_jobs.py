@@ -1,0 +1,162 @@
+"""Tests for the job queue and worker supervisor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    Job,
+    JobError,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+    WorkerSupervisor,
+)
+
+
+def _job(n, op="fill"):
+    return Job(f"j{n}", op, {})
+
+
+class TestJob:
+    def test_wait_returns_result(self):
+        job = _job(1)
+        job.succeed({"answer": 42})
+        assert job.wait(1.0) == {"answer": 42}
+        assert job.done and job.error is None
+
+    def test_wait_raises_job_error(self):
+        job = _job(1)
+        job.fail(ValueError("bad wires"))
+        with pytest.raises(JobError) as exc_info:
+            job.wait(1.0)
+        assert exc_info.value.error_type == "ValueError"
+        assert "bad wires" in exc_info.value.message
+
+    def test_wait_times_out(self):
+        with pytest.raises(TimeoutError):
+            _job(1).wait(0.01)
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue(maxsize=8)
+        jobs = [_job(n) for n in range(3)]
+        queue.submit_many(jobs)
+        assert [queue.pop(0.1) for _ in range(3)] == jobs
+
+    def test_backpressure_rejects_whole_batch(self):
+        queue = JobQueue(maxsize=2)
+        queue.submit(_job(0))
+        with pytest.raises(QueueFullError):
+            queue.submit_many([_job(1), _job(2)])
+        # atomic: nothing from the rejected batch was admitted
+        assert len(queue) == 1
+
+    def test_closed_queue_rejects_submissions(self):
+        queue = JobQueue(maxsize=2)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(_job(0))
+
+    def test_close_returns_undrained_jobs(self):
+        queue = JobQueue(maxsize=8)
+        jobs = [_job(n) for n in range(2)]
+        queue.submit_many(jobs)
+        assert queue.close() == jobs
+        assert queue.pop(0.1) is None  # closed and drained
+
+    def test_pop_timeout_returns_none(self):
+        assert JobQueue().pop(0.01) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(maxsize=0)
+
+
+class _WorkerCrash(BaseException):
+    """Escapes run_job's job handling to kill the worker thread."""
+
+
+class TestWorkerSupervisor:
+    def test_runs_jobs(self):
+        queue = JobQueue()
+        done = []
+        supervisor = WorkerSupervisor(
+            queue, lambda job: done.append(job.id) or job.succeed({}), workers=2
+        )
+        supervisor.start()
+        try:
+            jobs = [_job(n) for n in range(4)]
+            queue.submit_many(jobs)
+            for job in jobs:
+                job.wait(10.0)
+            assert sorted(done) == sorted(j.id for j in jobs)
+        finally:
+            queue.close()
+            supervisor.stop()
+
+    @pytest.mark.filterwarnings(
+        # the crash intentionally escapes the worker thread
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_crashed_worker_is_respawned(self):
+        queue = JobQueue()
+
+        def run_job(job):
+            if job.op == "crash":
+                raise _WorkerCrash("worker dies here")
+            job.succeed({"ran": True})
+
+        supervisor = WorkerSupervisor(queue, run_job, workers=1)
+        supervisor.start()
+        try:
+            crash = Job("j1", "crash", {})
+            queue.submit(crash)
+            with pytest.raises(JobError) as exc_info:
+                crash.wait(10.0)
+            assert exc_info.value.error_type == "_WorkerCrash"
+
+            # the single worker died with the crash; only a respawned
+            # replacement can serve this follow-up job
+            follow_up = _job(2)
+            queue.submit(follow_up)
+            assert follow_up.wait(10.0) == {"ran": True}
+            assert supervisor.respawns >= 1
+            assert supervisor.alive() >= 1
+        finally:
+            queue.close()
+            supervisor.stop()
+
+    def test_on_worker_start_runs_per_thread(self):
+        queue = JobQueue()
+        started = []
+        supervisor = WorkerSupervisor(
+            queue,
+            lambda job: job.succeed({}),
+            workers=3,
+            on_worker_start=lambda: started.append(threading.current_thread().name),
+        )
+        supervisor.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while len(started) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(started) == 3
+            assert len(set(started)) == 3
+        finally:
+            queue.close()
+            supervisor.stop()
+
+    def test_stop_joins_workers(self):
+        queue = JobQueue()
+        supervisor = WorkerSupervisor(queue, lambda job: job.succeed({}), workers=2)
+        supervisor.start()
+        queue.close()
+        supervisor.stop()
+        assert supervisor.alive() == 0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(JobQueue(), lambda job: None, workers=0)

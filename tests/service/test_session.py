@@ -1,0 +1,132 @@
+"""Tests for fill sessions: ticket ordering, caches, LRU store."""
+
+import threading
+
+import pytest
+
+from repro.core import FillConfig
+from repro.layout import WindowGrid
+from repro.service import (
+    FillSession,
+    SessionClosedError,
+    SessionStore,
+    UnknownSessionError,
+)
+
+from .conftest import make_layout
+
+
+def _session(session_id="s1"):
+    layout = make_layout()
+    grid = WindowGrid(layout.die, 4, 4)
+    return FillSession(session_id, layout, grid, FillConfig(workers=1))
+
+
+class TestTicketOrdering:
+    def test_tickets_are_sequential(self):
+        session = _session()
+        assert [session.issue_ticket() for _ in range(3)] == [0, 1, 2]
+
+    def test_ordered_executes_in_ticket_order(self):
+        session = _session()
+        tickets = [session.issue_ticket() for _ in range(4)]
+        order = []
+
+        def run(ticket):
+            with session.ordered(ticket):
+                order.append(ticket)
+
+        # start the workers in reverse ticket order: the ticket protocol
+        # must still serialize them into issue order
+        threads = [
+            threading.Thread(target=run, args=(t,)) for t in reversed(tickets)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert order == tickets
+
+    def test_failed_request_releases_the_slot(self):
+        session = _session()
+        first, second = session.issue_ticket(), session.issue_ticket()
+        with pytest.raises(RuntimeError, match="boom"):
+            with session.ordered(first):
+                raise RuntimeError("boom")
+        with session.ordered(second):
+            pass  # would deadlock if the failed slot were not released
+        assert session.requests_served == 1
+
+    def test_closed_session_raises_inside_ordered(self):
+        session = _session()
+        ticket = session.issue_ticket()
+        session.close()
+        with pytest.raises(SessionClosedError):
+            with session.ordered(ticket):
+                pass
+        # the slot still advanced: a later ticket does not wedge
+        ticket2 = session.issue_ticket()
+        with pytest.raises(SessionClosedError):
+            with session.ordered(ticket2):
+                pass
+
+
+class TestCaches:
+    def test_ensure_caches_builds_once(self):
+        session = _session()
+        assert session.analysis is None and session.wire_indexes is None
+        session.ensure_caches()
+        analysis, indexes = session.analysis, session.wire_indexes
+        assert analysis is not None and indexes is not None
+        assert set(indexes) == set(session.layout.layer_numbers)
+        session.ensure_caches()
+        assert session.analysis is analysis  # not recomputed
+        assert session.wire_indexes is indexes
+
+    def test_describe_is_json_ready(self):
+        session = _session()
+        desc = session.describe()
+        assert desc["session"] == "s1"
+        assert desc["layers"] == 2
+        assert desc["cached_analysis"] is False
+        session.ensure_caches()
+        assert session.describe()["cached_analysis"] is True
+
+
+class TestSessionStore:
+    def _open(self, store):
+        layout = make_layout()
+        grid = WindowGrid(layout.die, 4, 4)
+        return store.open(layout, grid, FillConfig(workers=1))
+
+    def test_lru_eviction_closes_oldest(self):
+        store = SessionStore(max_sessions=2)
+        s1, s2, s3 = self._open(store), self._open(store), self._open(store)
+        assert len(store) == 2
+        assert store.evicted == 1
+        assert s1.closed and not s2.closed and not s3.closed
+        with pytest.raises(UnknownSessionError):
+            store.get(s1.id)
+
+    def test_get_refreshes_recency(self):
+        store = SessionStore(max_sessions=2)
+        s1, s2 = self._open(store), self._open(store)
+        store.get(s1.id)  # s1 becomes most recent; s2 is now the LRU
+        self._open(store)
+        assert s2.closed and not s1.closed
+
+    def test_close_unknown_session(self):
+        store = SessionStore()
+        with pytest.raises(UnknownSessionError):
+            store.close("nope")
+
+    def test_close_all(self):
+        store = SessionStore()
+        sessions = [self._open(store) for _ in range(3)]
+        store.close_all()
+        assert len(store) == 0
+        assert all(s.closed for s in sessions)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionStore(max_sessions=0)

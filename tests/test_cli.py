@@ -288,3 +288,100 @@ class TestBenchSubcommand:
         capsys.readouterr()
         assert main(["bench", "gate", str(traj)]) == 0
         assert "bench gate: smoke" in capsys.readouterr().out
+
+
+class TestEcoCommand:
+    def _filled(self, demo_gds, tmp_path):
+        filled = tmp_path / "filled.gds"
+        assert main(["fill", str(demo_gds), str(filled), "--windows", "4"]) == 0
+        return filled
+
+    def test_eco_roundtrip(self, demo_gds, tmp_path, capsys):
+        import json
+
+        filled = self._filled(demo_gds, tmp_path)
+        wires = tmp_path / "wires.json"
+        wires.write_text(json.dumps({"1": [[100, 100, 400, 140]]}))
+        patched = tmp_path / "patched.gds"
+        code = main(
+            ["eco", str(filled), str(wires), str(patched), "--windows", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ECO:" in out
+        assert "0 DRC violations" in out
+        before = layout_from_gdsii(filled.read_bytes())
+        after = layout_from_gdsii(patched.read_bytes())
+        assert after.num_wires == before.num_wires + 1
+
+    def test_eco_trace_out_writes_run_record(self, demo_gds, tmp_path, capsys):
+        import json
+
+        from repro.obs import read_record
+
+        filled = self._filled(demo_gds, tmp_path)
+        wires = tmp_path / "wires.json"
+        wires.write_text(json.dumps({"1": [[100, 100, 400, 140]]}))
+        patched = tmp_path / "patched.gds"
+        record_path = tmp_path / "eco.jsonl"
+        code = main(
+            [
+                "eco", str(filled), str(wires), str(patched),
+                "--windows", "4", "--trace-out", str(record_path),
+            ]
+        )
+        assert code == 0
+        record = read_record(record_path)
+        assert record.label == "repro eco"
+        assert "eco.apply" in record.stage_seconds()
+
+    def test_eco_rejects_bad_wires(self, demo_gds, tmp_path):
+        filled = self._filled(demo_gds, tmp_path)
+        wires = tmp_path / "wires.json"
+        wires.write_text('{"metal1": [[0, 0, 10, 10]]}')
+        with pytest.raises(ValueError, match="not an integer"):
+            main(["eco", str(filled), str(wires), str(tmp_path / "out.gds")])
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket is None and args.port is None
+        assert args.serve_workers == 2
+        assert args.queue_size == 64
+        assert args.max_sessions == 8
+
+    def test_serve_rejects_both_transports(self):
+        from repro.service.cli import run_serve
+
+        args = build_parser().parse_args(
+            ["serve", "--socket", "a.sock", "--port", "1"]
+        )
+        with pytest.raises(SystemExit, match="only one"):
+            run_serve(args)
+
+
+class TestTraceExport:
+    def test_trace_export_chrome(self, demo_gds, tmp_path, capsys):
+        import json
+
+        record_path = tmp_path / "run.jsonl"
+        out = tmp_path / "filled.gds"
+        main(
+            [
+                "fill", str(demo_gds), str(out),
+                "--windows", "4", "--trace-out", str(record_path),
+            ]
+        )
+        capsys.readouterr()
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "export", str(record_path),
+                "--format", "chrome", "-o", str(trace_path),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "engine.run" in names

@@ -116,3 +116,174 @@ class TestApplyEco:
         assert report.removed_fills == 0
         assert report.new_fills == 0
         assert layout.num_fills == fills_before
+
+
+# ----------------------------------------------------------------------
+# Session-cache path: cached analysis/indexes vs the cold rescan path
+# ----------------------------------------------------------------------
+
+
+class TestCachedEco:
+    WIRE = {1: [Rect(50, 50, 250, 90)]}
+    WIRE2 = {1: [Rect(700, 700, 800, 760)], 2: [Rect(100, 700, 200, 760)]}
+
+    @staticmethod
+    def _caches(layout, grid, config):
+        from repro.core import build_wire_indexes
+        from repro.density.analysis import analyze_layout
+
+        wire_indexes = build_wire_indexes(layout)
+        analysis = analyze_layout(
+            layout,
+            grid,
+            window_margin=config.effective_margin(layout.rules.min_spacing),
+        )
+        return analysis, wire_indexes
+
+    def test_cached_path_byte_identical_to_cold(self):
+        from repro.eco import build_fill_indexes
+        from repro.gdsii import gdsii_bytes
+
+        config = FillConfig()
+        cold, cold_grid = filled_layout()
+        apply_eco(cold, cold_grid, self.WIRE, config)
+
+        cached, grid = filled_layout()
+        analysis, wire_indexes = self._caches(cached, grid, config)
+        report = apply_eco(
+            cached,
+            grid,
+            self.WIRE,
+            config,
+            analysis=analysis,
+            wire_indexes=wire_indexes,
+            fill_indexes=build_fill_indexes(cached),
+        )
+        assert gdsii_bytes(cached) == gdsii_bytes(cold)
+        assert report.analysis is not None
+        assert report.wire_indexes is wire_indexes
+
+    def test_refreshed_analysis_matches_global_reanalysis(self):
+        import numpy as np
+
+        from repro.density.analysis import analyze_layout
+
+        config = FillConfig()
+        layout, grid = filled_layout()
+        analysis, wire_indexes = self._caches(layout, grid, config)
+        report = apply_eco(
+            layout,
+            grid,
+            self.WIRE,
+            config,
+            analysis=analysis,
+            wire_indexes=wire_indexes,
+        )
+        fresh = analyze_layout(
+            layout,
+            grid,
+            window_margin=config.effective_margin(layout.rules.min_spacing),
+        )
+        for number, expect in fresh.items():
+            got = report.analysis[number]
+            assert np.array_equal(got.lower, expect.lower)
+            assert np.array_equal(got.upper, expect.upper)
+            assert got.fill_regions == expect.fill_regions
+
+    def test_chained_cached_ecos_stay_identical(self):
+        from repro.eco import build_fill_indexes
+        from repro.gdsii import gdsii_bytes
+
+        config = FillConfig()
+        cold, cold_grid = filled_layout()
+        apply_eco(cold, cold_grid, self.WIRE, config)
+        apply_eco(cold, cold_grid, self.WIRE2, config)
+
+        cached, grid = filled_layout()
+        analysis, wire_indexes = self._caches(cached, grid, config)
+        first = apply_eco(
+            cached,
+            grid,
+            self.WIRE,
+            config,
+            analysis=analysis,
+            wire_indexes=wire_indexes,
+            fill_indexes=build_fill_indexes(cached),
+        )
+        # second patch runs entirely off the refreshed caches
+        apply_eco(
+            cached,
+            grid,
+            self.WIRE2,
+            config,
+            analysis=first.analysis,
+            wire_indexes=first.wire_indexes,
+            fill_indexes=build_fill_indexes(cached),
+        )
+        assert gdsii_bytes(cached) == gdsii_bytes(cold)
+
+    def test_wire_index_extended_in_place(self):
+        config = FillConfig()
+        layout, grid = filled_layout()
+        _, wire_indexes = self._caches(layout, grid, config)
+        before = len(wire_indexes[1])
+        apply_eco(layout, grid, self.WIRE, config, wire_indexes=wire_indexes)
+        assert len(wire_indexes[1]) == before + 1
+        assert len(wire_indexes[1]) == layout.layer(1).num_wires
+
+    def test_stale_wire_index_rejected(self):
+        config = FillConfig()
+        layout, grid = filled_layout()
+        _, wire_indexes = self._caches(layout, grid, config)
+        layout.layer(1).add_wire(Rect(400, 400, 480, 430))  # index not told
+        with pytest.raises(ValueError, match="stale wire index"):
+            apply_eco(layout, grid, self.WIRE, config, wire_indexes=wire_indexes)
+
+    def test_stale_fill_index_rejected(self):
+        from repro.eco import build_fill_indexes
+
+        config = FillConfig()
+        layout, grid = filled_layout()
+        fill_indexes = build_fill_indexes(layout)
+        layout.layer(1).clear_fills()  # index now lies about the fills
+        with pytest.raises(ValueError, match="stale fill index"):
+            apply_eco(layout, grid, self.WIRE, config, fill_indexes=fill_indexes)
+
+
+class TestWiresFromJson:
+    def test_parses_string_layer_keys(self):
+        from repro.eco import wires_from_json
+
+        wires = wires_from_json({"2": [[0, 0, 10, 10]], "1": [[5, 5, 9, 9]]})
+        assert wires == {1: [Rect(5, 5, 9, 9)], 2: [Rect(0, 0, 10, 10)]}
+
+    def test_rejects_non_integer_layer(self):
+        from repro.eco import wires_from_json
+
+        with pytest.raises(ValueError, match="not an integer"):
+            wires_from_json({"metal1": [[0, 0, 10, 10]]})
+
+    def test_rejects_malformed_rect(self):
+        from repro.eco import wires_from_json
+
+        with pytest.raises(ValueError, match="not \\[xl, yl, xh, yh\\]"):
+            wires_from_json({"1": [[0, 0, 10]]})
+
+    def test_rejects_non_integer_coords(self):
+        from repro.eco import wires_from_json
+
+        with pytest.raises(ValueError):
+            wires_from_json({"1": [[0, 0, 10.5, 10]]})
+        with pytest.raises(ValueError):
+            wires_from_json({"1": [[0, 0, True, 10]]})
+
+    def test_rejects_non_list_payload(self):
+        from repro.eco import wires_from_json
+
+        with pytest.raises(ValueError, match="list of rects"):
+            wires_from_json({"1": "no"})
+
+    def test_empty_spec_is_empty(self):
+        from repro.eco import wires_from_json
+
+        assert wires_from_json({}) == {}
