@@ -15,6 +15,9 @@ for the full catalogue and rationale):
   executor, shard-worker purity, picklability of dispatched state.
 * :mod:`~repro.check.rules.determinism` — REP011–REP012: ordered
   iteration in deterministic paths, float merge order across shards.
+* :mod:`~repro.check.rules.observability` — REP014: one diagnostics
+  channel (no raw ``print()``/``logging.basicConfig``/
+  ``signal.setitimer`` outside ``repro/obs`` and CLI modules).
 
 Rules are registered in :data:`RULE_REGISTRY` via the
 :func:`register` decorator; adding a rule is writing a subclass of
@@ -41,6 +44,7 @@ from .invariants import (
     MutableDefaultRule,
     RawTimerRule,
 )
+from .observability import DiagnosticChannelRule
 from .parallel_safety import (
     RawExecutorRule,
     ThreadOwnershipRule,
@@ -70,4 +74,5 @@ __all__ = [
     "ShardPicklabilityRule",
     "UnorderedIterationRule",
     "ShardFloatMergeRule",
+    "DiagnosticChannelRule",
 ]

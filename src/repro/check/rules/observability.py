@@ -1,0 +1,93 @@
+"""Observability rule: REP014 — one diagnostics channel.
+
+PR 8 gave the repo a structured event log
+(:mod:`repro.obs.events`): JSON lines, level-filtered, correlated to
+span ids, bridged from stdlib ``repro.*`` loggers.  A raw ``print()``
+in library code bypasses all of that — it cannot be filtered, carries
+no span correlation, and corrupts machine-read stdout (the CLI's
+summary tables, the NDJSON service protocol).  ``logging.basicConfig``
+installs a root handler that double-prints every bridged event, and
+``signal.setitimer`` would fight the sampling profiler (which is
+thread-based precisely so SIGPROF/SIGALRM stay free and shard workers
+can be profiled off the main thread).
+
+The sanctioned surfaces: CLI modules (``cli.py``/``__main__.py``
+anywhere — stdout *is* their product), ``repro/obs`` itself, and the
+checker's own reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from .base import ModuleContext, Rule, register
+
+__all__ = ["DiagnosticChannelRule"]
+
+#: fully-qualified calls that bypass the events channel
+_FORBIDDEN_CALLS = {
+    "logging.basicConfig": (
+        "logging.basicConfig() outside repro/obs installs a root handler "
+        "that double-prints bridged events; configure verbosity through "
+        "repro.obs.events.configure(level=...)"
+    ),
+    "signal.setitimer": (
+        "signal.setitimer() collides with the thread-based sampling "
+        "profiler and only fires on the main thread; use "
+        "repro.obs.profile.SamplingProfiler"
+    ),
+}
+
+
+@register
+class DiagnosticChannelRule(Rule):
+    """Raw ``print()``/``logging.basicConfig``/``signal.setitimer`` in library code.
+
+    All diagnostics flow through :mod:`repro.obs.events` (structured
+    JSON lines with span correlation and level filtering); stdout
+    belongs to the CLI layer.  Same shape as REP007's one clock and
+    REP008's one executor: one diagnostics channel.
+    """
+
+    code = "REP014"
+    summary = "raw print()/logging.basicConfig/signal.setitimer outside repro/obs and CLI modules"
+    default_severity = Severity.ERROR
+    #: module paths whose product is text on stdout / the obs package
+    allowed = ("repro/obs/", "repro/check/")
+    #: basenames that are CLI entry points wherever they live
+    allowed_basenames = ("cli.py", "__main__.py")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if ctx.in_scope(self.allowed):
+            return False
+        return ctx.module_basename not in self.allowed_basenames
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    qualified = f"{module}.{alias.name}"
+                    if qualified in _FORBIDDEN_CALLS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {qualified} outside repro/obs; "
+                            "diagnostics flow through repro.obs.events",
+                        )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "print":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "raw print() in library code; emit a structured "
+                        "event via repro.obs.events.emit(...) (or return "
+                        "the text to the CLI layer)",
+                    )
+                    continue
+                resolved = ctx.analysis.resolve(node.func)
+                message = _FORBIDDEN_CALLS.get(resolved or "")
+                if message is not None:
+                    yield self.finding(ctx, node, message)

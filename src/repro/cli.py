@@ -19,9 +19,12 @@ this CLI exposes the same workflow:
 
 Every command reads and writes real GDSII byte streams, so the CLI
 composes with any external layout tooling.  ``generate``, ``fill``,
-``score`` and ``drc`` accept ``--trace-out PATH`` to write a
-:mod:`repro.obs` run record (JSONL) of the command, and
-``--log-level`` to tune logging.
+``score``, ``drc`` and ``eco`` accept ``--trace-out PATH`` to write a
+:mod:`repro.obs` run record (JSONL) of the command, ``--log-level`` /
+``--events PATH`` to tune the structured event log, and ``--profile``
+(``--profile-ms MS``) to attach the sampling profiler, whose folded
+stacks land in the run record for
+``repro trace export --format folded``.
 """
 
 from __future__ import annotations
@@ -29,7 +32,6 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
-import logging
 import sys
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
@@ -112,21 +114,57 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default="warning",
-        help="logging verbosity (default: warning)",
+        help="event-log verbosity (default: warning)",
+    )
+    group.add_argument(
+        "--events",
+        type=Path,
+        metavar="PATH",
+        help="append structured JSON event lines to PATH instead of stderr",
+    )
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("profiling")
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sampling profiler for the command; folded "
+        "stacks land in the run record (--trace-out) for "
+        "`repro trace export --format folded`",
+    )
+    group.add_argument(
+        "--profile-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="sampling period in milliseconds (default: 10.0)",
     )
 
 
 @contextlib.contextmanager
 def _observed(args: argparse.Namespace, label: str) -> Iterator[None]:
-    """Apply --log-level and record the command when --trace-out is set."""
-    logging.basicConfig(level=getattr(logging, args.log_level.upper()))
-    logging.getLogger("repro").setLevel(getattr(logging, args.log_level.upper()))
-    if args.trace_out is None:
+    """Apply the observability/profiling flags around one command.
+
+    Event-log level and destination come from ``--log-level`` /
+    ``--events`` (all diagnostics flow through ``repro.obs.events``;
+    stdlib ``repro.*`` loggers are bridged in).  ``--trace-out``
+    records the command; ``--profile`` arms the sampling profiler
+    *inside* the recorded region so the profile publishes onto the
+    record's tracer before the record closes.
+    """
+    obs.events.configure(
+        level=args.log_level,
+        path=str(args.events) if getattr(args, "events", None) else None,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.trace_out is not None:
+            stack.enter_context(obs.record_run(args.trace_out, label=label))
+        if getattr(args, "profile", False):
+            stack.enter_context(obs.profiled(period_ms=args.profile_ms))
         yield
-        return
-    with obs.record_run(args.trace_out, label=label):
-        yield
-    print(f"wrote run record {args.trace_out}")
+    if args.trace_out is not None:
+        print(f"wrote run record {args.trace_out}")
 
 
 def _rules_from(args: argparse.Namespace) -> DrcRules:
@@ -159,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--wires", type=int, default=450, help="cell rects per layer")
     _add_rules_args(gen)
     _add_obs_args(gen)
+    _add_profile_args(gen)
 
     info = sub.add_parser("info", help="inspect a GDSII layout")
     info.add_argument("input", type=Path)
@@ -177,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_rules_args(fill)
     _add_obs_args(fill)
+    _add_profile_args(fill)
 
     score = sub.add_parser("score", help="score a filled GDSII")
     score.add_argument("input", type=Path, help="filled layout")
@@ -189,11 +229,13 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--windows", type=int, default=8)
     _add_rules_args(score)
     _add_obs_args(score)
+    _add_profile_args(score)
 
     drc = sub.add_parser("drc", help="check fills against the rule deck")
     drc.add_argument("input", type=Path)
     _add_rules_args(drc)
     _add_obs_args(drc)
+    _add_profile_args(drc)
 
     eco = sub.add_parser(
         "eco",
@@ -211,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(eco)
     _add_rules_args(eco)
     _add_obs_args(eco)
+    _add_profile_args(eco)
 
     serve = sub.add_parser(
         "serve",

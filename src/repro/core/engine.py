@@ -115,8 +115,11 @@ class DummyFillEngine:
         """
         config = self.config
         check_drc_params(layout.rules, name="layout.rules")
+        collector = obs.profile.active_collector()
 
         with obs.span("engine.run") as run_span:
+            if collector is not None:
+                run_span.annotate(profile_period_ms=collector.period_ms)
             with obs.span("analysis") as analysis_span:
                 if analysis is None:
                     margin = config.effective_margin(layout.rules.min_spacing)
@@ -185,6 +188,13 @@ class DummyFillEngine:
                         )
                         num_fills += len(rects)
                 obs.count("engine.fills", num_fills)
+
+        if collector is not None:
+            # CPU attribution next to the wall time: how many profiler
+            # samples landed inside each stage (incl. shard workers)
+            per_stage = collector.stage_sample_counts("engine.run")
+            for child in run_span.children:
+                child.annotate(profile_samples=per_stage.get(child.name, 0))
 
         return FillReport(
             initial_plan=initial_plan,

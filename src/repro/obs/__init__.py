@@ -18,13 +18,20 @@ implementation of those clocks:
   ``python -m repro.obs summarize`` / ``repro trace``,
 * **memory** (:mod:`repro.obs.rss`) — the only sanctioned home of
   RSS sampling and tracemalloc (rule REP007 forbids raw
-  ``time.perf_counter()``/``tracemalloc`` elsewhere).
+  ``time.perf_counter()``/``tracemalloc`` elsewhere),
+* **live telemetry** — Prometheus exposition + rolling quantiles
+  (:mod:`repro.obs.expose`), structured JSON events correlated to
+  spans (:mod:`repro.obs.events`, the sanctioned diagnostics channel
+  per rule REP014), and a thread-based sampling profiler with folded
+  flamegraph export (:mod:`repro.obs.profile`).
 
 See ``docs/OBSERVABILITY.md`` for the model and the JSONL schema.
 """
 
-from . import metrics
-from .export import chrome_trace, chrome_trace_json
+from . import events, expose, metrics, profile
+from .events import emit
+from .export import chrome_trace, chrome_trace_json, folded_stacks
+from .expose import RollingQuantiles, TelemetryServer, render_prometheus
 from .metrics import (
     Counter,
     Gauge,
@@ -33,6 +40,7 @@ from .metrics import (
     active_registry,
     set_registry,
 )
+from .profile import ProfileCollector, SamplingProfiler, profiled
 from .record import (
     Measurement,
     RecordError,
@@ -58,9 +66,20 @@ from .spans import (
 from .summarize import diff_breaches, diff_records, format_metrics, format_record
 
 __all__ = [
+    "events",
+    "expose",
     "metrics",
+    "profile",
+    "emit",
     "chrome_trace",
     "chrome_trace_json",
+    "folded_stacks",
+    "RollingQuantiles",
+    "TelemetryServer",
+    "render_prometheus",
+    "ProfileCollector",
+    "SamplingProfiler",
+    "profiled",
     "Counter",
     "Gauge",
     "Histogram",

@@ -9,10 +9,12 @@ Subcommands:
   ``--fail-on PCT`` additionally exits nonzero when the total wall
   clock, peak RSS or any root span grew by more than PCT percent,
   making the diff usable as a standalone CI step.
-* ``export RECORD.jsonl --format chrome`` — convert a record to the
-  Chrome ``trace_event`` JSON format for Perfetto/``chrome://tracing``
-  (see :mod:`repro.obs.export`); ``-o PATH`` writes to a file instead
-  of stdout.
+* ``export RECORD.jsonl --format chrome|folded`` — convert a record to
+  the Chrome ``trace_event`` JSON format for Perfetto/
+  ``chrome://tracing``, or to folded stacks for flamegraph.pl (uses
+  the record's sampling-profiler counts when present, span-tree self
+  times otherwise — see :mod:`repro.obs.export`); ``-o PATH`` writes
+  to a file instead of stdout.
 
 Exit codes: ``0`` ok, ``1`` ``--fail-on`` threshold breached, ``2`` on
 unreadable or malformed records.
@@ -60,9 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("record", type=Path, help="run record (JSONL)")
     export.add_argument(
         "--format",
-        choices=("chrome",),
+        choices=("chrome", "folded"),
         default="chrome",
-        help="output format (chrome = trace_event JSON for Perfetto)",
+        help="output format (chrome = trace_event JSON for Perfetto, "
+        "folded = folded stacks for flamegraph.pl)",
     )
     export.add_argument(
         "-o",
@@ -88,9 +91,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "summarize":
             print(format_record(_load(args.record)))
         elif args.command == "export":
-            from .export import chrome_trace_json
+            from .export import chrome_trace_json, folded_stacks
 
-            payload = chrome_trace_json(_load(args.record))
+            record = _load(args.record)
+            if args.format == "folded":
+                payload = folded_stacks(record).rstrip("\n")
+            else:
+                payload = chrome_trace_json(record)
             if args.output is not None:
                 args.output.write_text(payload + "\n", encoding="utf-8")
                 print(f"wrote {args.format} trace {args.output}")

@@ -1,0 +1,209 @@
+"""Structured JSON event logging correlated to spans.
+
+Every diagnostic the system emits while running — request served,
+slow request, worker respawned, pool fallback — flows through one
+event log as a JSON line::
+
+    {"ts": 1754550000.123, "event": "slow_request", "level": "warning",
+     "span": "service.request", "span_id": 41, "op": "fill", ...}
+
+Events carry the innermost open span's name and a stable per-tracer
+span id, so a line in the log can be joined back to the span tree of
+the run record it happened inside.  The module replaces the ad-hoc
+``logging.basicConfig`` plumbing behind ``--log-level``: stdlib
+``logging`` calls under the ``repro`` logger are bridged into the
+event log, so library code that logs keeps working while everything
+lands in one machine-readable stream.
+
+Usage::
+
+    from repro import obs
+
+    obs.events.configure(level="info", path="events.jsonl")
+    obs.events.emit("pool.fallback", level="warning", backend="process")
+
+Levels mirror logging: ``debug`` < ``info`` < ``warning`` < ``error``.
+Events below the configured level are dropped at the emit site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+from .spans import Span, current_span
+
+__all__ = [
+    "EventLog",
+    "LEVELS",
+    "configure",
+    "emit",
+    "get_log",
+    "span_id",
+]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: monotonically increasing ids handed to spans on first event emission
+_SPAN_IDS = itertools.count(1)
+
+
+def span_id(sp: Span) -> int:
+    """A stable numeric id for a span, assigned lazily on first use.
+
+    Ids are process-unique and monotonic in assignment order; they
+    exist so event lines can reference "the span this happened inside"
+    without serializing the whole tree per event.
+    """
+    existing = getattr(sp, "_event_id", None)
+    if existing is not None:
+        return int(existing)
+    new_id = next(_SPAN_IDS)
+    sp._event_id = new_id  # type: ignore[attr-defined]
+    return new_id
+
+
+class EventLog:
+    """A leveled, thread-safe JSON-lines event sink.
+
+    Writes to ``stream`` (default stderr), or to ``path`` when given
+    (opened append, line-buffered by flushing per event).  Emission is
+    cheap when the level filters the event out: one dict lookup.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        path: Optional[str] = None,
+        level: str = "warning",
+    ):
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {sorted(LEVELS)}")
+        self._stream = stream
+        self._path = path
+        self._file: Optional[IO[str]] = None
+        self.level = level
+        self._lock = threading.Lock()
+
+    def _sink(self) -> IO[str]:
+        if self._path is not None:
+            if self._file is None:
+                self._file = open(self._path, "a", encoding="utf-8")
+            return self._file
+        return self._stream if self._stream is not None else sys.stderr
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS.get(level, 0) >= LEVELS[self.level]
+
+    def emit(self, event: str, *, level: str = "info", **fields: Any) -> None:
+        """Write one event line (dropped when below the configured level).
+
+        Reserved keys (``ts``/``event``/``level``/``span``/``span_id``)
+        come first so the lines are eyeball-able; extra ``fields`` are
+        serialized with ``default=str`` so a non-JSON value degrades to
+        its repr instead of killing the request that logged it.
+        """
+        if not self.enabled(level):
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "event": event,
+            "level": level,
+        }
+        sp = current_span()
+        if sp is not None:
+            record["span"] = sp.name
+            record["span_id"] = span_id(sp)
+        for k, v in fields.items():
+            if k not in record:
+                record[k] = v
+        line = json.dumps(record, default=str)
+        with self._lock:
+            sink = self._sink()
+            sink.write(line + "\n")
+            sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+#: process-wide default log; configure() replaces its destination/level
+_LOG = EventLog()
+_LOG_LOCK = threading.Lock()
+
+
+def get_log() -> EventLog:
+    """The process-wide event log."""
+    return _LOG
+
+
+def configure(
+    level: Optional[str] = None,
+    path: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> EventLog:
+    """Reconfigure the process-wide event log in place.
+
+    Only the arguments given change; ``configure(level="debug")``
+    keeps the current destination.  Also installs the stdlib-logging
+    bridge (idempotent), so ``logging.getLogger("repro.x").warning``
+    lands in the event stream.
+    """
+    global _LOG
+    with _LOG_LOCK:
+        if level is not None:
+            if level not in LEVELS:
+                raise ValueError(
+                    f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+                )
+            _LOG.level = level
+        if path is not None or stream is not None:
+            _LOG.close()
+            _LOG._path = path
+            _LOG._stream = stream
+        _install_bridge()
+    return _LOG
+
+
+def emit(event: str, *, level: str = "info", **fields: Any) -> None:
+    """Emit an event on the process-wide log."""
+    _LOG.emit(event, level=level, **fields)
+
+
+class _BridgeHandler(logging.Handler):
+    """Forwards stdlib ``repro.*`` log records into the event log."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        level = record.levelname.lower()
+        if level == "critical":
+            level = "error"
+        if level not in LEVELS:
+            level = "info"
+        _LOG.emit(
+            "log",
+            level=level,
+            logger=record.name,
+            message=record.getMessage(),
+        )
+
+
+_BRIDGE: Optional[_BridgeHandler] = None
+
+
+def _install_bridge() -> None:
+    global _BRIDGE
+    if _BRIDGE is not None:
+        return
+    _BRIDGE = _BridgeHandler()
+    logger = logging.getLogger("repro")
+    logger.addHandler(_BRIDGE)
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False

@@ -15,7 +15,15 @@ spans are greedily packed onto synthetic "tracks" (one ``tid`` per
 track) so overlapping requests render side by side while sequential
 stages share a row, exactly how a flame chart should read.
 
-CLI: ``repro trace export RECORD.jsonl --format chrome -o out.json``.
+:func:`folded_stacks` exports the same record in the folded-stack
+format flamegraph.pl consumes (``outer;inner;leaf count`` lines).
+When the record carries a sampling-profiler payload (a ``profile``
+event) those exact sample counts are used; otherwise the stacks are
+synthesized from the span tree's *self time* (each span's seconds
+minus its direct children's), so any saved run record — profiled or
+not — renders as a flamegraph.
+
+CLI: ``repro trace export RECORD.jsonl --format chrome|folded -o out``.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from typing import Any, Dict, List
 
 from .record import RunRecord
 
-__all__ = ["chrome_trace", "chrome_trace_json"]
+__all__ = ["chrome_trace", "chrome_trace_json", "folded_stacks"]
 
 _PID = 1
 
@@ -121,3 +129,52 @@ def chrome_trace(record: RunRecord) -> Dict[str, Any]:
 def chrome_trace_json(record: RunRecord) -> str:
     """:func:`chrome_trace` serialized to a compact JSON string."""
     return json.dumps(chrome_trace(record), sort_keys=True)
+
+
+def _folded_from_spans(spans: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Folded stacks from the span tree, weighted by self time in µs.
+
+    Each span contributes one stack (its ancestor path joined with
+    ``;``) weighted by its wall time minus its direct children's — the
+    flamegraph then shows exactly the tree `trace summarize` prints,
+    with frame widths matching the stage-seconds table.  Weights are
+    clamped to ≥1 µs so zero-self-time parents stay visible.
+    """
+    folded: Dict[str, int] = {}
+    path: List[Dict[str, Any]] = []  # open ancestor spans, by depth
+    self_seconds: Dict[int, float] = {}  # id(span dict) -> running self time
+
+    def flush(span: Dict[str, Any], ancestors: List[Dict[str, Any]]) -> None:
+        stack = ";".join([a["name"] for a in ancestors] + [str(span["name"])])
+        micros = max(1, int(round(self_seconds[id(span)] * 1e6)))
+        folded[stack] = folded.get(stack, 0) + micros
+
+    for span in spans:
+        depth = int(span.get("depth", 0))
+        while len(path) > depth:
+            done = path.pop()
+            flush(done, path)
+        if path:
+            parent = path[-1]
+            self_seconds[id(parent)] -= float(span["seconds"])
+        self_seconds[id(span)] = float(span["seconds"])
+        path.append(span)
+    while path:
+        done = path.pop()
+        flush(done, path)
+    return folded
+
+
+def folded_stacks(record: RunRecord) -> str:
+    """The record as flamegraph.pl folded-stack lines.
+
+    Prefers the record's sampling-profiler counts; falls back to
+    span-tree self-time weights for unprofiled records.  Lines are
+    sorted by stack path, each ``"<f1>;<f2>;...;<leaf> <count>"``.
+    """
+    if record.profile is not None and record.profile.get("folded"):
+        folded = {str(k): int(v) for k, v in record.profile["folded"].items()}
+    else:
+        folded = _folded_from_spans(record.spans)
+    lines = [f"{stack} {count}" for stack, count in sorted(folded.items())]
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,262 @@
+"""Prometheus text-format exposition of the live metrics registry.
+
+Three pieces make up the read-only telemetry surface:
+
+* :func:`render_prometheus` — serialize a :class:`~repro.obs.metrics.
+  MetricsRegistry` snapshot as Prometheus text format 0.0.4: counters
+  as ``<name>_total``, gauges verbatim, histograms as cumulative
+  le-sorted ``_bucket`` series plus ``_sum``/``_count``.
+* :class:`RollingQuantiles` — sliding-window latency quantiles per
+  key (service op), exposed as gauges next to the cumulative
+  histograms so operators see *recent* latency, not lifetime.
+* :class:`TelemetryServer` — a tiny threaded HTTP server answering
+  ``GET /metrics`` (text format) and ``GET /healthz`` (JSON), bound
+  behind ``repro serve --metrics-port``.
+
+Everything here *reads* instruments; nothing mutates engine state, so
+scraping mid-batch is race-free by construction (instrument updates
+are plain int/float increments under the GIL; the registry snapshot
+copies the instrument dict under the registry lock).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import (
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    percentile_of,
+)
+
+__all__ = [
+    "RollingQuantiles",
+    "TelemetryServer",
+    "metric_name",
+    "render_prometheus",
+]
+
+#: characters legal in a Prometheus metric name body
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, namespace: str = "repro") -> str:
+    """Map a dotted instrument name onto the Prometheus name grammar.
+
+    ``service.latency.fill`` → ``repro_service_latency_fill``; any
+    character outside ``[a-zA-Z0-9_:]`` becomes ``_``, and a leading
+    digit is guarded by the namespace prefix.
+    """
+    body = _NAME_OK.sub("_", name.replace(".", "_"))
+    return f"{namespace}_{body}" if namespace else body
+
+
+def _fmt(v: float) -> str:
+    """Render a sample value: integers without the trailing ``.0``."""
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+class RollingQuantiles:
+    """Sliding-window quantiles per key, for "recent latency" gauges.
+
+    Cumulative histograms answer "since process start"; operators of a
+    long-running service want "over the last N requests".  Each key
+    (service op) keeps a bounded deque of observations; ``snapshot``
+    computes quantiles over the current window.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
+        self._windows: Dict[str, Deque[float]] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, key: str, value: float) -> None:
+        with self._lock:
+            win = self._windows.get(key)
+            if win is None:
+                win = deque(maxlen=self.window)
+                self._windows[key] = win
+            win.append(float(value))
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{key: {"p50": ..., ..., "window": n}}`` per observed key."""
+        with self._lock:
+            frozen = {k: list(v) for k, v in self._windows.items()}
+        out: Dict[str, Dict[str, float]] = {}
+        for key in sorted(frozen):
+            samples = frozen[key]
+            stats: Dict[str, float] = {"window": float(len(samples))}
+            for q in self.quantiles:
+                stats[f"p{q:g}"] = percentile_of(samples, q)
+            out[key] = stats
+        return out
+
+
+def render_prometheus(
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    rolling: Optional[RollingQuantiles] = None,
+    namespace: str = "repro",
+) -> str:
+    """Serialize a registry (active one if omitted) as text format 0.0.4.
+
+    * counters → ``<ns>_<name>_total`` with ``# TYPE ... counter``
+    * gauges → ``<ns>_<name>`` with ``# TYPE ... gauge``
+    * histograms → cumulative ``_bucket{le="..."}`` series ending at
+      ``le="+Inf"``, plus ``_sum`` and ``_count``
+    * ``rolling`` windows → ``<ns>_<key>_window{quantile="0.5"}``
+      gauges plus a ``..._window_size`` gauge
+
+    Output ends with a newline, as the format requires.
+    """
+    if registry is None:
+        registry = active_registry()
+    lines: List[str] = []
+    instruments = registry.instruments()
+    for name in sorted(instruments):
+        inst = instruments[name]
+        if isinstance(inst, Counter):
+            pname = metric_name(name, namespace) + "_total"
+            lines.append(f"# HELP {pname} counter {name}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_fmt(inst.value)}")
+        elif isinstance(inst, Gauge):
+            pname = metric_name(name, namespace)
+            lines.append(f"# HELP {pname} gauge {name}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            pname = metric_name(name, namespace)
+            lines.append(f"# HELP {pname} histogram {name}")
+            lines.append(f"# TYPE {pname} histogram")
+            for le, cum in inst.cumulative_buckets():
+                lines.append(f'{pname}_bucket{{le="{_fmt(le)}"}} {cum}')
+            lines.append(f"{pname}_sum {_fmt(inst.total)}")
+            lines.append(f"{pname}_count {inst.count}")
+    if rolling is not None:
+        for key, stats in rolling.snapshot().items():
+            pname = metric_name(key, namespace) + "_window"
+            lines.append(f"# HELP {pname} rolling-window quantiles for {key}")
+            lines.append(f"# TYPE {pname} gauge")
+            for stat_name, value in stats.items():
+                if stat_name == "window":
+                    continue
+                q = float(stat_name[1:]) / 100.0
+                lines.append(f'{pname}{{quantile="{q:g}"}} {_fmt(value)}')
+            lines.append(f"{pname}_size {int(stats['window'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET-only handler for /metrics and /healthz."""
+
+    # set by TelemetryServer on the subclass
+    render_metrics: Callable[[], str]
+    health: Callable[[], Dict[str, Any]]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.render_metrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = json.dumps(self.health()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_response(404)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default stderr access log (events own diagnostics)."""
+
+
+class TelemetryServer:
+    """Threaded HTTP server exposing /metrics and /healthz.
+
+    Scrape-only: no mutating endpoints exist.  ``port=0`` binds an
+    ephemeral port (tests); read :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        render_metrics: Callable[[], str],
+        health: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "render_metrics": staticmethod(render_metrics),
+                "health": staticmethod(health or (lambda: {"status": "ok"})),
+            },
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TelemetryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

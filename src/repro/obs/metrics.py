@@ -20,17 +20,21 @@ thread-safe (one lock per registry; updates are cheap).
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from contextvars import ContextVar
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "active_registry",
+    "percentile_of",
     "set_registry",
     "counter",
     "gauge",
@@ -39,6 +43,40 @@ __all__ = [
 ]
 
 Number = Union[int, float]
+
+#: default histogram bucket upper bounds (``le`` semantics).  Log-ish
+#: spaced so one ladder covers both sub-millisecond latencies (seconds
+#: as the unit) and large event counts (LP variables, candidates).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: default summary quantiles (percent ranks) for :meth:`Histogram.as_dict`
+DEFAULT_QUANTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+
+
+def percentile_of(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile ``p`` in [0, 100] of ``samples``.
+
+    The one percentile implementation shared by :class:`Histogram` and
+    the sliding-window quantiles of :mod:`repro.obs.expose`.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p} out of [0, 100]")
+    if not samples:
+        return 0.0
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[int(rank)]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
 
 
 class Counter:
@@ -92,12 +130,27 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, name: str, max_samples: int = 8192):
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = 8192,
+        buckets: Optional[Sequence[float]] = None,
+        quantiles: Optional[Sequence[float]] = None,
+    ):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.bucket_bounds: Tuple[float, ...] = tuple(
+            sorted(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
+        self.quantiles: Tuple[float, ...] = tuple(
+            quantiles if quantiles is not None else DEFAULT_QUANTILES
+        )
+        #: per-bucket (non-cumulative) counts; last slot catches values
+        #: above every bound (the ``+Inf`` bucket of the exposition)
+        self._bucket_counts: List[int] = [0] * (len(self.bucket_bounds) + 1)
         self._samples: List[float] = []
         self._max_samples = max_samples
         self._stride = 1
@@ -109,6 +162,7 @@ class Histogram:
         self.total += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        self._bucket_counts[bisect.bisect_left(self.bucket_bounds, v)] += 1
         self._sample(v)
 
     def _sample(self, v: float) -> None:
@@ -125,17 +179,26 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
 
-        Count, total and extrema combine exactly; the other histogram
-        contributes its (possibly downsampled) sample buffer to this
-        one's, through the same bounded-memory admission path.  Used to
-        merge worker-side registries back into the parent run.
+        Count, total, extrema and bucket counts combine exactly; the
+        other histogram contributes its (possibly downsampled) sample
+        buffer to this one's, through the same bounded-memory admission
+        path.  Used to merge worker-side registries back into the
+        parent run.  Merging histograms with different bucket ladders
+        is refused — exact bucket counts cannot be re-binned.
         """
+        if other.bucket_bounds != self.bucket_bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                "bucket bounds differ"
+            )
         self.count += other.count
         self.total += other.total
         if other.min is not None:
             self.min = other.min if self.min is None else min(self.min, other.min)
         if other.max is not None:
             self.max = other.max if self.max is None else max(self.max, other.max)
+        for i, n in enumerate(other._bucket_counts):
+            self._bucket_counts[i] += n
         for v in other._samples:
             self._sample(v)
 
@@ -145,34 +208,34 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile ``p`` in [0, 100] of the samples."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile {p} out of [0, 100]")
-        if not self._samples:
-            return 0.0
-        data = sorted(self._samples)
-        if len(data) == 1:
-            return data[0]
-        rank = (p / 100.0) * (len(data) - 1)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
-        if lo == hi:
-            return data[int(rank)]
-        frac = rank - lo
-        return data[lo] * (1.0 - frac) + data[hi] * frac
+        return percentile_of(self._samples, p)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, le-sorted, ending at ``+Inf``.
+
+        The Prometheus histogram view: each bucket counts observations
+        ``<= le``, the final ``+Inf`` bucket equals :attr:`count`.
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bucket_bounds, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self._bucket_counts[-1]))
+        return out
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "kind": self.kind,
             "count": self.count,
             "total": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
         }
+        for q in self.quantiles:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -205,8 +268,20 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} is a {inst.kind}, not a gauge")
         return inst
 
-    def histogram(self, name: str) -> Histogram:
-        inst = self._get(name, Histogram)
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        quantiles: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get-or-create a histogram.
+
+        ``buckets``/``quantiles`` only take effect on creation; an
+        existing instrument keeps its ladder (get-or-create semantics).
+        """
+        inst = self._get(
+            name, lambda n: Histogram(n, buckets=buckets, quantiles=quantiles)
+        )
         if not isinstance(inst, Histogram):
             raise TypeError(f"metric {name!r} is a {inst.kind}, not a histogram")
         return inst
@@ -240,7 +315,20 @@ class MetricsRegistry:
             elif isinstance(inst, Gauge):
                 self.gauge(name).set(inst.value)
             elif isinstance(inst, Histogram):
-                self.histogram(name).merge(inst)
+                target = self._get(
+                    name,
+                    lambda n: Histogram(
+                        n,
+                        max_samples=inst._max_samples,
+                        buckets=inst.bucket_bounds,
+                        quantiles=inst.quantiles,
+                    ),
+                )
+                if not isinstance(target, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} is a {target.kind}, not a histogram"
+                    )
+                target.merge(inst)
             else:
                 raise TypeError(
                     f"cannot merge unknown instrument kind for {name!r}"
@@ -292,9 +380,13 @@ def gauge(name: str) -> Gauge:
     return active_registry().gauge(name)
 
 
-def histogram(name: str) -> Histogram:
+def histogram(
+    name: str,
+    buckets: Optional[Sequence[float]] = None,
+    quantiles: Optional[Sequence[float]] = None,
+) -> Histogram:
     """Get-or-create a histogram on the active registry."""
-    return active_registry().histogram(name)
+    return active_registry().histogram(name, buckets=buckets, quantiles=quantiles)
 
 
 def snapshot() -> Dict[str, Dict[str, Any]]:

@@ -12,7 +12,11 @@ grep well:
     {"event": "span",    "name": "analysis",   "depth": 1, "seconds": ...}
     ...
     {"event": "metrics", "metrics": {"sizing.lp_solves": {...}, ...}}
+    {"event": "profile", "period_ms": 10.0, "samples": 412, "folded": {...}}
     {"event": "summary", "seconds": ..., "peak_rss_mb": ..., "status": "ok"}
+
+(The ``profile`` event only appears when a sampling profiler ran —
+see :mod:`repro.obs.profile`.)
 
 :func:`record_run` wraps a region of code: it installs a fresh span
 tracer and metrics registry (so the record describes exactly this
@@ -68,6 +72,9 @@ class RunRecord:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     summary: Dict[str, Any] = field(default_factory=dict)
+    #: optional sampling-profiler payload ({"period_ms", "samples",
+    #: "folded"}); absent on unprofiled runs — readers must tolerate None
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def label(self) -> str:
@@ -108,6 +115,8 @@ class RunRecord:
         for s in self.spans:
             events.append({"event": "span", **s})
         events.append({"event": "metrics", "metrics": self.metrics})
+        if self.profile is not None:
+            events.append({"event": "profile", **self.profile})
         events.append({"event": "summary", **self.summary})
         return events
 
@@ -219,6 +228,7 @@ def record_run(
             spans=spans,
             metrics=registry.snapshot(),
             summary=summary,
+            profile=getattr(tracer, "profile", None),
         )
         recorder.record = record
         if recorder.path is not None:
@@ -256,6 +266,8 @@ def read_record(path: Union[str, Path]) -> RunRecord:
             record.spans.append(event)
         elif kind == "metrics":
             record.metrics = event.get("metrics", {})
+        elif kind == "profile":
+            record.profile = event
         elif kind == "summary":
             record.summary = event
             saw_summary = True

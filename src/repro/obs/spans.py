@@ -130,21 +130,41 @@ class Tracer:
         self.roots: List[Span] = []
         self.max_roots = max_roots
         self._epoch = time.perf_counter()
-        self._local = threading.local()
+        #: open-span stacks keyed by thread ident.  A dict (not
+        #: ``threading.local``) so the sampling profiler can read
+        #: another thread's stack; each thread only mutates its own
+        #: entry, and dict get/set are atomic under the GIL.
+        self._stacks: Dict[int, List[Span]] = {}
         self._lock = threading.Lock()
 
     # -- open-span stack (per thread) ----------------------------------
     @property
     def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
             stack = []
-            self._local.stack = stack
+            self._stacks[ident] = stack
         return stack
 
     def current(self) -> Optional[Span]:
         stack = self._stack
         return stack[-1] if stack else None
+
+    def stack_names(self, ident: Optional[int] = None) -> List[str]:
+        """Names of the open spans on one thread's stack, outermost first.
+
+        Defaults to the calling thread.  Safe to call on *another*
+        thread's ident (the profiler does): the returned list is a
+        snapshot copied under the GIL; a concurrent push/pop can at
+        worst make it one frame stale.
+        """
+        if ident is None:
+            ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if not stack:
+            return []
+        return [sp.name for sp in list(stack)]
 
     def start(self, name: str) -> Span:
         sp = Span(name=name, start_offset=time.perf_counter() - self._epoch)
@@ -170,6 +190,10 @@ class Tracer:
             stack.pop()
         elif sp in stack:  # unbalanced exit: drop it and everything above
             del stack[stack.index(sp) :]
+        if not stack:
+            # drop the empty entry so short-lived threads (service
+            # workers, shard pools) don't grow the dict without bound
+            self._stacks.pop(threading.get_ident(), None)
 
 
 #: process-wide fallback tracer; record_run() swaps in a fresh one

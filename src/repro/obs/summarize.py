@@ -9,11 +9,15 @@ cites.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .record import RunRecord
 
 __all__ = ["format_record", "format_metrics", "diff_records", "diff_breaches"]
+
+#: histogram snapshot keys that are quantiles (p50, p99, p99.9, ...)
+_QUANTILE_KEY = re.compile(r"^p\d+(\.\d+)?$")
 
 
 def _fmt_counters(counters: Mapping[str, float]) -> str:
@@ -72,11 +76,19 @@ def format_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> str:
         m = metrics[name]
         kind = m.get("kind", "?")
         if kind == "histogram":
-            detail = (
-                f"count={int(m.get('count', 0))} mean={float(m.get('mean', 0)):.3g} "
-                f"p50={float(m.get('p50', 0)):.3g} p90={float(m.get('p90', 0)):.3g} "
-                f"p99={float(m.get('p99', 0)):.3g} max={float(m.get('max', 0)):.3g}"
+            parts = [
+                f"count={int(m.get('count', 0))}",
+                f"mean={float(m.get('mean', 0)):.3g}",
+            ]
+            # render whatever quantile keys the histogram carries
+            # (p50/p90/p95/p99 by default, any configured set otherwise)
+            qkeys = sorted(
+                (k for k in m if _QUANTILE_KEY.match(k)),
+                key=lambda k: float(k[1:]),
             )
+            parts.extend(f"{k}={float(m[k]):.3g}" for k in qkeys)
+            parts.append(f"max={float(m.get('max', 0)):.3g}")
+            detail = " ".join(parts)
         else:
             value = float(m.get("value", 0.0))
             detail = f"{int(value)}" if value.is_integer() else f"{value:.6g}"

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..obs.metrics import Instrument, MetricsRegistry, set_registry
+from ..obs.profile import ProfileCollector, SamplingProfiler, active_collector
 from ..obs.spans import Span, Tracer, set_tracer
 
 __all__ = [
@@ -94,6 +95,9 @@ class ShardOutcome:
     metrics: Dict[str, Instrument] = field(default_factory=dict)
     input_digest: Optional[str] = None
     output_digest: Optional[str] = None
+    #: worker-side folded profiler samples (``stack -> count``);
+    #: ``None`` unless the caller had a profile collector armed
+    profile: Optional[Dict[str, int]] = None
 
 
 def resolve_workers(workers: int) -> int:
@@ -138,14 +142,26 @@ def _execute(
     shard: Sequence[Any],
     label: str,
     sanitize: bool = False,
+    profile_ms: Optional[float] = None,
 ) -> ShardOutcome:
-    """Run one shard under a fresh tracer/registry and capture both."""
+    """Run one shard under a fresh tracer/registry and capture both.
+
+    ``profile_ms`` arms a worker-local sampling profiler for the
+    shard's duration (pool backends only — the serial path runs in the
+    caller's thread, which the caller's own sampler already covers);
+    its folded counts ship back on the outcome for shard-order merge.
+    """
     tracer = Tracer()
     registry = MetricsRegistry()
     restore_tracer = set_tracer(tracer)
     restore_registry = set_registry(registry)
     input_digest: Optional[str] = None
     output_digest: Optional[str] = None
+    collector: Optional[ProfileCollector] = None
+    sampler: Optional[SamplingProfiler] = None
+    if profile_ms is not None:
+        collector = ProfileCollector(period_ms=profile_ms)
+        sampler = SamplingProfiler(collector, tracer=tracer).start()
     try:
         with obs.span(f"{label}[{index}]") as sp:
             sp.annotate(shard=index, items=len(shard))
@@ -165,10 +181,18 @@ def _execute(
                         "results instead of writing through `shared`."
                     )
     finally:
+        if sampler is not None:
+            sampler.stop()
         restore_registry()
         restore_tracer()
     return ShardOutcome(
-        index, value, tracer.roots, registry.instruments(), input_digest, output_digest
+        index,
+        value,
+        tracer.roots,
+        registry.instruments(),
+        input_digest,
+        output_digest,
+        collector.folded_snapshot() if collector is not None else None,
     )
 
 
@@ -185,9 +209,13 @@ def _init_worker(fn: ShardFn, shared: Any) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_in_worker(task: Tuple[int, Sequence[Any], str, bool]) -> ShardOutcome:
-    index, shard, label, sanitize = task
-    return _execute(_WORKER_FN, _WORKER_SHARED, index, shard, label, sanitize)
+def _run_in_worker(
+    task: Tuple[int, Sequence[Any], str, bool, Optional[float]],
+) -> ShardOutcome:
+    index, shard, label, sanitize, profile_ms = task
+    return _execute(
+        _WORKER_FN, _WORKER_SHARED, index, shard, label, sanitize, profile_ms
+    )
 
 
 def _start_pool(fn: ShardFn, shared: Any, workers: int) -> ProcessPoolExecutor:
@@ -228,11 +256,14 @@ def _map_thread(
     workers: int,
     label: str,
     sanitize: bool,
+    profile_ms: Optional[float],
 ) -> List[ShardOutcome]:
     with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
         return list(
             pool.map(
-                lambda task: _execute(fn, shared, task[0], task[1], label, sanitize),
+                lambda task: _execute(
+                    fn, shared, task[0], task[1], label, sanitize, profile_ms
+                ),
                 [(k, shard) for k, shard in enumerate(shards)],
             )
         )
@@ -271,6 +302,12 @@ def run_sharded(
         return []
     workers = resolve_workers(workers)
     sanitizing = sanitize_enabled(sanitize)
+    # When a profile collector is armed in this context, pool workers
+    # run their own sampler at the same period and ship folded counts
+    # back; serial execution stays unprofiled here because it runs in
+    # the caller's thread, already covered by the caller's sampler.
+    collector = active_collector()
+    profile_ms = collector.period_ms if collector is not None else None
     if backend == "process" and workers > 1:
         pool = None
         try:
@@ -283,15 +320,25 @@ def run_sharded(
             # shard serially and mask the original failure.
             outcomes = _map_serial(fn, shared, shards, label, sanitizing)
         if pool is not None:
-            tasks = [(k, shard, label, sanitizing) for k, shard in enumerate(shards)]
+            tasks = [
+                (k, shard, label, sanitizing, profile_ms)
+                for k, shard in enumerate(shards)
+            ]
             with pool:
                 outcomes = list(pool.map(_run_in_worker, tasks))
     elif backend == "thread" and workers > 1:
-        outcomes = _map_thread(fn, shared, shards, workers, label, sanitizing)
+        outcomes = _map_thread(
+            fn, shared, shards, workers, label, sanitizing, profile_ms
+        )
     else:
         outcomes = _map_serial(fn, shared, shards, label, sanitizing)
     registry = obs.active_registry()
+    prefix = ";".join(obs.active_tracer().stack_names()) or None
     for outcome in outcomes:  # shard order == merge order
         obs.adopt(outcome.spans)
         registry.merge_from(outcome.metrics)
+        if collector is not None and outcome.profile:
+            # re-root the worker's stacks under the caller's open span
+            # path, e.g. "engine.run;candidates;candidates.shard[0];..."
+            collector.merge_folded(outcome.profile, prefix=prefix)
     return [outcome.value for outcome in outcomes]

@@ -7,8 +7,8 @@
 kinds:
 
 * **control ops** (``ping``, ``open_session``, ``close_session``,
-  ``sessions``) execute synchronously on the calling thread — they
-  only touch the store;
+  ``sessions``, ``stats``, ``metrics``) execute synchronously on the
+  calling thread — they only touch the store and read-only telemetry;
 * **compute ops** (``fill``, ``score``, ``drc_audit``, ``eco_delta``)
   are queued as jobs and executed by worker threads in per-session
   submission order; the heavy stages inside each job still parallelize
@@ -32,6 +32,7 @@ re-fills only the dirtied windows via the session caches
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
@@ -57,7 +58,14 @@ __all__ = [
 #: ops executed by worker threads in per-session order
 COMPUTE_OPS = ("fill", "score", "drc_audit", "eco_delta")
 #: ops executed synchronously on the calling thread
-CONTROL_OPS = ("ping", "open_session", "close_session", "sessions")
+CONTROL_OPS = (
+    "ping",
+    "open_session",
+    "close_session",
+    "sessions",
+    "stats",
+    "metrics",
+)
 
 #: rule-deck defaults shared with the CLI's --min-* flags
 _RULE_DEFAULTS = {
@@ -100,9 +108,15 @@ class FillService:
         max_sessions: int = 8,
         queue_size: int = 64,
         request_timeout: Optional[float] = 600.0,
+        slow_ms: Optional[float] = None,
+        profile_ms: Optional[float] = None,
+        telemetry_window: int = 256,
     ):
         self.store = SessionStore(max_sessions=max_sessions)
         self.request_timeout = request_timeout
+        #: requests slower than this (milliseconds) emit a warning
+        #: event carrying the request's span tree inline
+        self.slow_ms = slow_ms
         self._queue = JobQueue(maxsize=queue_size)
         self._supervisor = WorkerSupervisor(
             self._queue,
@@ -112,9 +126,20 @@ class FillService:
         )
         self._tracer = obs.active_tracer()
         self._registry = obs.metrics.active_registry()
+        #: rolling per-op latency quantiles over the last N requests,
+        #: exposed next to the cumulative histograms on /metrics
+        self.telemetry = obs.RollingQuantiles(window=telemetry_window)
+        #: per-request sampling profiler (one shared collector so the
+        #: whole service lifetime folds into a single flamegraph)
+        self._profile = (
+            obs.ProfileCollector(period_ms=profile_ms)
+            if profile_ms is not None
+            else None
+        )
         self._job_lock = threading.Lock()
         self._jobs_issued = 0
         self._started = False
+        self._started_offset = 0.0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "FillService":
@@ -129,6 +154,7 @@ class FillService:
             raise RuntimeError("service already started")
         self._tracer = obs.active_tracer()
         self._registry = obs.metrics.active_registry()
+        self._started_offset = obs.current_offset(self._tracer)
         self._supervisor.start()
         self._started = True
         return self
@@ -140,6 +166,9 @@ class FillService:
             job.fail(QueueClosedError("service stopped before the job ran"))
         self._supervisor.stop()
         self.store.close_all()
+        if self._profile is not None and self._profile.samples:
+            # folded request samples land in the service's run record
+            obs.profile.publish(self._profile, tracer=self._tracer)
         self._started = False
 
     def __enter__(self) -> "FillService":
@@ -248,7 +277,59 @@ class FillService:
             return {"closed": session_id}
         if op == "sessions":
             return {"sessions": self.store.describe()}
+        if op == "stats":
+            return self.stats()
+        if op == "metrics":
+            return {"text": self.render_metrics()}
         raise ValueError(f"unknown control op {op!r}")
+
+    # -- telemetry surface ---------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Live service counters: the ``stats`` op and ``/healthz`` body.
+
+        Reads the registry's existing instruments (never creates any,
+        so polling stats does not mint zero-valued metrics).
+        """
+        requests: Dict[str, float] = {}
+        errors = 0.0
+        for name, inst in self._registry.instruments().items():
+            if name.startswith("service.requests."):
+                requests[name[len("service.requests."):]] = inst.value
+            elif name == "service.errors":
+                errors = inst.value
+        return {
+            "uptime_s": round(
+                max(0.0, obs.current_offset(self._tracer) - self._started_offset),
+                3,
+            ),
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "sessions": len(self.store),
+            "requests": requests,
+            "errors": errors,
+            "latency": self.telemetry.snapshot(),
+            "profiling": (
+                {
+                    "period_ms": self._profile.period_ms,
+                    "samples": self._profile.samples,
+                }
+                if self._profile is not None
+                else None
+            ),
+        }
+
+    def render_metrics(self) -> str:
+        """The service registry in Prometheus text format (``/metrics``)."""
+        return obs.render_prometheus(self._registry, rolling=self.telemetry)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` body: liveness plus the cheap gauges."""
+        return {
+            "status": "ok" if self._started else "stopped",
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "sessions": len(self.store),
+        }
 
     def _open_session(self, params: Dict[str, Any]) -> Dict[str, Any]:
         data = params.get("gds")
@@ -284,6 +365,8 @@ class FillService:
     def _execute(self, job: Job) -> None:
         session = job.session
         assert session is not None and job.ticket is not None
+        samples_before = self._profile.samples if self._profile is not None else 0
+        failed = False
         with obs.span(
             "service.request", op=job.op, session=session.id, job=job.id
         ) as sp:
@@ -293,17 +376,64 @@ class FillService:
             self._registry.histogram("service.queue.wait_s").observe(wait_s)
             sp.annotate(queue_wait_s=round(wait_s, 6))
             try:
-                with session.ordered(job.ticket):
-                    result = _COMPUTE_HANDLERS[job.op](self, session, job.params)
+                with self._maybe_profiled():
+                    with session.ordered(job.ticket):
+                        result = _COMPUTE_HANDLERS[job.op](self, session, job.params)
             except Exception as exc:
+                failed = True
                 self._registry.counter("service.errors").inc()
                 sp.annotate(error_type=type(exc).__name__)
                 job.fail(exc)
             else:
                 self._registry.counter(f"service.requests.{job.op}").inc()
                 job.succeed(result)
+        if self._profile is not None:
+            sp.annotate(profile_samples=self._profile.samples - samples_before)
         self._registry.histogram(f"service.latency.{job.op}").observe(sp.seconds)
         self._registry.gauge("service.queue.depth").set(len(self._queue))
+        self.telemetry.observe(job.op, sp.seconds)
+        self._report_request(sp, job, session.id, failed)
+
+    def _maybe_profiled(self) -> Any:
+        """Sampler over this worker thread for one request, if armed."""
+        if self._profile is None:
+            return contextlib.nullcontext()
+        return obs.profile.attached(self._profile)
+
+    def _report_request(
+        self, sp: "obs.Span", job: Job, session_id: str, failed: bool
+    ) -> None:
+        """Emit the request's completion event; escalate slow requests.
+
+        A request over ``slow_ms`` emits a warning-level event carrying
+        the request's whole span tree inline, so the offending stages
+        are in the event stream without fishing out the run record.
+        """
+        seconds = sp.seconds
+        slow = self.slow_ms is not None and seconds * 1000.0 >= self.slow_ms
+        if slow:
+            self._registry.counter("service.requests.slow").inc()
+            obs.events.emit(
+                "slow_request",
+                level="warning",
+                op=job.op,
+                job=job.id,
+                session=session_id,
+                seconds=round(seconds, 6),
+                threshold_ms=self.slow_ms,
+                failed=failed,
+                span_tree=[s.as_dict(d) for d, s in sp.walk()],
+            )
+        else:
+            obs.events.emit(
+                "request",
+                level="info",
+                op=job.op,
+                job=job.id,
+                session=session_id,
+                seconds=round(seconds, 6),
+                failed=failed,
+            )
 
     # -- compute handlers (inside session.ordered) ---------------------
     def _handle_fill(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 
+from ..obs.expose import TelemetryServer
 from .api import FillService
 from .server import ServiceServer
 
@@ -64,6 +65,29 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="per-request wait bound before answering with an error "
         "(default: 600)",
     )
+    telemetry = parser.add_argument_group("live telemetry")
+    telemetry.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="N",
+        help="also serve HTTP GET /metrics (Prometheus text format) and "
+        "/healthz on localhost port N (0 picks a free port)",
+    )
+    telemetry.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="emit a warning event with the request's span tree inline "
+        "for any request slower than MS milliseconds",
+    )
+    telemetry.add_argument(
+        "--profile-ms",
+        type=float,
+        metavar="MS",
+        help="sample every request's worker thread at this period; "
+        "folded stacks land in the run record (--trace-out) for "
+        "`repro trace export --format folded`",
+    )
 
 
 def run_serve(args: argparse.Namespace) -> int:
@@ -79,16 +103,35 @@ def run_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         queue_size=args.queue_size,
         request_timeout=args.request_timeout,
+        slow_ms=args.slow_ms,
+        profile_ms=args.profile_ms,
     )
     with service:
+        telemetry = None
+        if args.metrics_port is not None:
+            telemetry = TelemetryServer(
+                service.render_metrics,
+                health=service.health,
+                port=args.metrics_port,
+            ).start()
         server = ServiceServer(service, socket_path=socket_path, port=args.port)
-        with server:
-            print(
-                f"serving on {server.address} "
-                f"(workers={service.workers}, queue={args.queue_size}, "
-                f"sessions<={args.max_sessions}); send op=shutdown to stop",
-                flush=True,
-            )
-            server.wait_shutdown()
+        try:
+            with server:
+                print(
+                    f"serving on {server.address} "
+                    f"(workers={service.workers}, queue={args.queue_size}, "
+                    f"sessions<={args.max_sessions}); send op=shutdown to stop",
+                    flush=True,
+                )
+                if telemetry is not None:
+                    print(
+                        f"metrics on {telemetry.address}/metrics "
+                        f"(health: {telemetry.address}/healthz)",
+                        flush=True,
+                    )
+                server.wait_shutdown()
+        finally:
+            if telemetry is not None:
+                telemetry.stop()
     print("shutdown requested; server stopped", flush=True)
     return 0

@@ -827,3 +827,88 @@ class TestRep013:
             "t = threading.Thread(target=work)  # repro: noqa[REP013]\n"
         )
         assert run("REP013", src, "src/repro/core/engine.py") == []
+
+
+# ----------------------------------------------------------------------
+# REP014 — one diagnostics channel
+# ----------------------------------------------------------------------
+
+
+class TestRep014:
+    def test_print_in_library_code(self):
+        src = 'print("sizing pass done")\n'
+        findings = run("REP014", src, "src/repro/core/sizing.py")
+        assert [f.code for f in findings] == ["REP014"]
+        assert findings[0].severity is Severity.ERROR
+        assert "repro.obs.events" in findings[0].message
+
+    def test_logging_basicconfig(self):
+        src = (
+            "import logging\n"
+            "logging.basicConfig(level=logging.DEBUG)\n"
+        )
+        findings = run("REP014", src, "src/repro/density/analysis.py")
+        assert [f.code for f in findings] == ["REP014"]
+        assert "basicConfig" in findings[0].message
+
+    def test_basicconfig_from_import(self):
+        src = (
+            "from logging import basicConfig\n"
+            "basicConfig()\n"
+        )
+        findings = run("REP014", src, "src/repro/core/engine.py")
+        # the import line and the aliased call both fire
+        assert [f.code for f in findings] == ["REP014", "REP014"]
+
+    def test_signal_setitimer(self):
+        src = (
+            "import signal\n"
+            "signal.setitimer(signal.ITIMER_PROF, 0.01)\n"
+        )
+        findings = run("REP014", src, "src/repro/core/engine.py")
+        assert [f.code for f in findings] == ["REP014"]
+        assert "SamplingProfiler" in findings[0].message
+
+    def test_obs_package_exempt(self):
+        src = 'print("scrape me")\n'
+        assert run("REP014", src, "src/repro/obs/expose.py") == []
+
+    def test_cli_modules_exempt(self):
+        src = 'print("summary table")\n'
+        assert run("REP014", src, "src/repro/cli.py") == []
+        assert run("REP014", src, "src/repro/service/cli.py") == []
+        assert run("REP014", src, "src/repro/__main__.py") == []
+
+    def test_check_reporting_exempt(self):
+        src = 'print("findings: 3")\n'
+        assert run("REP014", src, "src/repro/check/runner.py") == []
+
+    def test_logger_calls_clean(self):
+        src = (
+            "import logging\n"
+            'log = logging.getLogger("repro.core")\n'
+            'log.warning("slow shard")\n'
+        )
+        assert run("REP014", src, "src/repro/core/engine.py") == []
+
+    def test_events_emit_clean(self):
+        src = (
+            "from repro.obs import events\n"
+            'events.emit("shard_done", level="info", shard=3)\n'
+        )
+        assert run("REP014", src, "src/repro/core/engine.py") == []
+
+    def test_shadowed_print_clean(self):
+        # a local function named print is someone's own affair
+        src = (
+            "def render(print):\n"
+            "    print(1)\n"
+        )
+        findings = run("REP014", src, "src/repro/core/engine.py")
+        # flagged anyway: the rule is syntactic on the name, and
+        # shadowing builtins trips other linters first
+        assert [f.code for f in findings] == ["REP014"]
+
+    def test_noqa_suppresses(self):
+        src = 'print("debug")  # repro: noqa[REP014]\n'
+        assert run("REP014", src, "src/repro/core/engine.py") == []

@@ -1,0 +1,137 @@
+"""Tests for the structured JSON event log and its logging bridge."""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.events import EventLog, LEVELS, span_id
+from repro.obs.spans import Tracer
+
+
+def lines(buf):
+    """Parse a buffer of JSON event lines."""
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestEventLog:
+    def test_emit_writes_json_line(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="info")
+        log.emit("pool.fallback", level="warning", backend="process")
+        (rec,) = lines(buf)
+        assert rec["event"] == "pool.fallback"
+        assert rec["level"] == "warning"
+        assert rec["backend"] == "process"
+        assert isinstance(rec["ts"], float)
+
+    def test_level_filters_at_emit_site(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="warning")
+        log.emit("chatty", level="debug")
+        log.emit("chatty", level="info")
+        log.emit("kept", level="error")
+        assert [r["event"] for r in lines(buf)] == ["kept"]
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            EventLog(level="verbose")
+
+    def test_level_ordering(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+    def test_span_correlation(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="info")
+        restore = obs.set_tracer(Tracer())
+        try:
+            with obs.span("engine.run"):
+                with obs.span("sizing"):
+                    log.emit("lp.retry", level="info", attempt=2)
+        finally:
+            restore()
+        (rec,) = lines(buf)
+        assert rec["span"] == "sizing"
+        assert isinstance(rec["span_id"], int)
+
+    def test_span_ids_stable_and_distinct(self):
+        restore = obs.set_tracer(Tracer())
+        try:
+            with obs.span("a") as sa:
+                with obs.span("b") as sb:
+                    assert span_id(sa) == span_id(sa)
+                    assert span_id(sa) != span_id(sb)
+        finally:
+            restore()
+
+    def test_non_json_field_degrades_to_str(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="info")
+        log.emit("weird", payload={1, 2})
+        (rec,) = lines(buf)
+        assert isinstance(rec["payload"], str)
+
+    def test_path_sink_appends(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        log = EventLog(path=str(target), level="info")
+        log.emit("first")
+        log.emit("second")
+        log.close()
+        recs = [json.loads(line) for line in target.read_text().splitlines()]
+        assert [r["event"] for r in recs] == ["first", "second"]
+
+    def test_reserved_keys_not_clobbered(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="info")
+        log.emit("e", **{"ts": 0})
+        (rec,) = lines(buf)
+        assert rec["ts"] != 0
+
+    def test_concurrent_emit_keeps_lines_whole(self):
+        buf = io.StringIO()
+        log = EventLog(stream=buf, level="info")
+
+        def spam(tag):
+            for i in range(50):
+                log.emit("tick", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=spam, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = lines(buf)  # json.loads raises on interleaved lines
+        assert len(recs) == 200
+
+
+class TestProcessWideLog:
+    def test_configure_level_and_stream(self):
+        buf = io.StringIO()
+        obs.events.configure(level="info", stream=buf)
+        try:
+            obs.events.emit("hello", n=1)
+        finally:
+            obs.events.configure(level="warning", stream=io.StringIO())
+        (rec,) = lines(buf)
+        assert rec["event"] == "hello" and rec["n"] == 1
+
+    def test_configure_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            obs.events.configure(level="loud")
+
+    def test_stdlib_logging_bridged(self):
+        buf = io.StringIO()
+        obs.events.configure(level="info", stream=buf)
+        try:
+            logging.getLogger("repro.core.engine").warning("slow shard %d", 3)
+        finally:
+            obs.events.configure(level="warning", stream=io.StringIO())
+        recs = [r for r in lines(buf) if r["event"] == "log"]
+        assert recs and recs[0]["logger"] == "repro.core.engine"
+        assert recs[0]["message"] == "slow shard 3"
+        assert recs[0]["level"] == "warning"

@@ -3,7 +3,7 @@
 import json
 
 from repro import obs
-from repro.obs import chrome_trace, chrome_trace_json
+from repro.obs import chrome_trace, chrome_trace_json, folded_stacks
 from repro.obs.cli import main as obs_main
 from repro.obs.record import RunRecord
 
@@ -125,3 +125,73 @@ class TestExportCli:
     def test_unreadable_record_exits_2(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
         assert obs_main(["export", str(missing)]) == 2
+
+
+class TestFoldedStacks:
+    def test_live_profile_wins(self):
+        record = RunRecord(
+            meta={"label": "p"},
+            spans=[
+                {"name": "engine.run", "seconds": 1.0, "depth": 0,
+                 "start_offset": 0.0, "status": "ok"},
+            ],
+            summary={"seconds": 1.0},
+            profile={
+                "period_ms": 10.0,
+                "samples": 7,
+                "folded": {"engine.run;sizing;f": 5, "engine.run;io": 2},
+            },
+        )
+        assert folded_stacks(record).splitlines() == [
+            "engine.run;io 2",
+            "engine.run;sizing;f 5",
+        ]
+
+    def test_span_tree_fallback_uses_self_time(self):
+        # parent 1.0s with a 0.6s child: parent self-time is 0.4s
+        record = RunRecord(
+            meta={"label": "spans"},
+            spans=[
+                {"name": "engine.run", "seconds": 1.0, "depth": 0,
+                 "start_offset": 0.0, "status": "ok"},
+                {"name": "sizing", "seconds": 0.6, "depth": 1,
+                 "start_offset": 0.1, "status": "ok"},
+            ],
+            summary={"seconds": 1.0},
+        )
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded_stacks(record).splitlines()
+        )
+        assert int(lines["engine.run"]) == 400000
+        assert int(lines["engine.run;sizing"]) == 600000
+
+    def test_fallback_floors_at_one(self):
+        record = RunRecord(
+            meta={"label": "tiny"},
+            spans=[
+                {"name": "blink", "seconds": 0.0, "depth": 0,
+                 "start_offset": 0.0, "status": "ok"},
+            ],
+            summary={"seconds": 0.0},
+        )
+        assert folded_stacks(record) == "blink 1\n"
+
+    def test_cli_folded_from_recorded_run(self, tmp_path, capsys):
+        path, _ = _recorded(tmp_path)
+        out = tmp_path / "stacks.folded"
+        rc = obs_main(["export", str(path), "--format", "folded", "-o", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.endswith("\n")
+        stacks = [line.rsplit(" ", 1) for line in text.splitlines()]
+        assert all(int(n) >= 1 for _, n in stacks)
+        paths = [s for s, _ in stacks]
+        assert "engine.run;analysis" in paths
+        assert "engine.run;sizing" in paths
+        assert "io.write" in paths
+
+    def test_cli_folded_to_stdout(self, tmp_path, capsys):
+        path, _ = _recorded(tmp_path)
+        assert obs_main(["export", str(path), "--format", "folded"]) == 0
+        outp = capsys.readouterr().out
+        assert "engine.run;analysis" in outp

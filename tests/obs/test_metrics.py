@@ -122,3 +122,76 @@ class TestRegistry:
             assert "only.here" not in obs.metrics.snapshot()
         finally:
             restore()
+
+
+class TestHistogramBuckets:
+    def test_default_ladder_sorted(self):
+        h = Histogram("h")
+        assert list(h.bucket_bounds) == sorted(h.bucket_bounds)
+        assert len(h.bucket_bounds) > 0
+
+    def test_le_semantics_on_exact_bound(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)   # == bound: belongs to le="1.0"
+        h.observe(10.0)
+        h.observe(11.0)  # above all bounds: +Inf only
+        assert h.cumulative_buckets() == [
+            (1.0, 1),
+            (10.0, 2),
+            (float("inf"), 3),
+        ]
+
+    def test_cumulative_inf_equals_count(self):
+        h = Histogram("h", buckets=(0.5,))
+        for v in [0.1, 0.9, 2.0, 3.0]:
+            h.observe(v)
+        bounds, counts = zip(*h.cumulative_buckets())
+        assert counts[-1] == h.count
+        assert list(counts) == sorted(counts)
+
+    def test_unsorted_bucket_arg_is_sorted(self):
+        h = Histogram("h", buckets=(10.0, 1.0, 5.0))
+        assert h.bucket_bounds == (1.0, 5.0, 10.0)
+
+    def test_merge_requires_same_ladder(self):
+        a = Histogram("a", buckets=(1.0, 2.0))
+        b = Histogram("b", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_adds_bucket_counts(self):
+        a = Histogram("a", buckets=(1.0,))
+        b = Histogram("b", buckets=(1.0,))
+        a.observe(0.5)
+        b.observe(0.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.cumulative_buckets() == [(1.0, 2), (float("inf"), 3)]
+
+
+class TestHistogramQuantiles:
+    def test_default_summary_has_p99(self, registry):
+        h = obs.metrics.histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        d = h.as_dict()
+        assert set(d) >= {"p50", "p90", "p95", "p99"}
+        assert d["p99"] == pytest.approx(99.01, abs=0.5)
+        assert d["p50"] == pytest.approx(50.5, abs=0.5)
+
+    def test_custom_quantiles(self, registry):
+        h = obs.metrics.histogram("q", quantiles=(25.0, 99.9))
+        for v in range(1, 1001):
+            h.observe(float(v))
+        d = h.as_dict()
+        assert set(k for k in d if k.startswith("p")) == {"p25", "p99.9"}
+        assert d["p99.9"] == pytest.approx(1000.0, rel=0.01)
+
+    def test_registry_merge_preserves_ladder_and_quantiles(self, registry):
+        worker = MetricsRegistry()
+        worker.histogram("w", buckets=(1.0, 2.0), quantiles=(75.0,)).observe(1.5)
+        registry.merge_from(worker.instruments())
+        merged = registry.histogram("w")
+        assert merged.bucket_bounds == (1.0, 2.0)
+        assert merged.quantiles == (75.0,)
+        assert merged.cumulative_buckets()[-1][1] == 1

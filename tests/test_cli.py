@@ -385,3 +385,102 @@ class TestTraceExport:
         trace = json.loads(trace_path.read_text())
         names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
         assert "engine.run" in names
+
+
+class TestTelemetryFlags:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["fill", "a.gds", "b.gds"])
+        assert args.profile is False
+        assert args.profile_ms == 10.0
+        args = build_parser().parse_args(
+            ["fill", "a.gds", "b.gds", "--profile", "--profile-ms", "2.5"]
+        )
+        assert args.profile is True
+        assert args.profile_ms == 2.5
+
+    def test_profiled_parallel_fill_byte_identical(self, demo_gds, tmp_path):
+        """Arming the profiler never changes engine output."""
+        plain = tmp_path / "plain.gds"
+        profiled = tmp_path / "profiled.gds"
+        assert main(["fill", str(demo_gds), str(plain), "--windows", "4"]) == 0
+        assert (
+            main(
+                [
+                    "fill", str(demo_gds), str(profiled),
+                    "--windows", "4", "--workers", "4",
+                    "--profile", "--profile-ms", "10",
+                ]
+            )
+            == 0
+        )
+        assert profiled.read_bytes() == plain.read_bytes()
+
+    def test_profiled_fill_records_profile_event(self, demo_gds, tmp_path):
+        import json
+
+        out = tmp_path / "filled.gds"
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "fill", str(demo_gds), str(out),
+                "--windows", "4", "--trace-out", str(trace_path),
+                "--profile", "--profile-ms", "1",
+            ]
+        )
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        profiles = [e for e in events if e.get("event") == "profile"]
+        assert len(profiles) == 1
+        assert profiles[0]["period_ms"] == 1.0
+        assert profiles[0]["samples"] >= 0
+        # every folded stack is rooted at a span the record knows about
+        root_spans = {
+            e["name"] for e in events if e.get("event") == "span" and e["depth"] == 0
+        }
+        for key in profiles[0]["folded"]:
+            assert key.split(";", 1)[0] in root_spans
+
+    def test_trace_export_folded_offline(self, demo_gds, tmp_path, capsys):
+        record_path = tmp_path / "run.jsonl"
+        out = tmp_path / "filled.gds"
+        main(
+            [
+                "fill", str(demo_gds), str(out),
+                "--windows", "4", "--trace-out", str(record_path),
+            ]
+        )
+        capsys.readouterr()
+        folded_path = tmp_path / "stacks.folded"
+        code = main(
+            [
+                "trace", "export", str(record_path),
+                "--format", "folded", "-o", str(folded_path),
+            ]
+        )
+        assert code == 0
+        lines = folded_path.read_text().splitlines()
+        assert lines
+        paths = [line.rsplit(" ", 1)[0] for line in lines]
+        weights = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert all(w >= 1 for w in weights)
+        # top frames name the engine stages
+        assert any(p.startswith("engine.run;") for p in paths)
+
+    def test_events_flag_writes_jsonl(self, demo_gds, tmp_path):
+        import json
+
+        out = tmp_path / "filled.gds"
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "fill", str(demo_gds), str(out),
+                "--windows", "4",
+                "--events", str(events_path), "--log-level", "debug",
+            ]
+        )
+        assert code == 0
+        assert events_path.exists()
+        for line in events_path.read_text().splitlines():
+            json.loads(line)
