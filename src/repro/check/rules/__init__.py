@@ -18,6 +18,9 @@ for the full catalogue and rationale):
 * :mod:`~repro.check.rules.observability` — REP014: one diagnostics
   channel (no raw ``print()``/``logging.basicConfig``/
   ``signal.setitimer`` outside ``repro/obs`` and CLI modules).
+* :mod:`~repro.check.rules.vectorization` — REP015: no per-window
+  Python loops under ``repro/density/`` outside the rect oracle —
+  per-window quantities belong on the raster kernel.
 
 Rules are registered in :data:`RULE_REGISTRY` via the
 :func:`register` decorator; adding a rule is writing a subclass of
@@ -51,6 +54,7 @@ from .parallel_safety import (
     ShardPicklabilityRule,
     ShardWorkerPurityRule,
 )
+from .vectorization import PerWindowLoopRule
 
 __all__ = [
     "ModuleContext",
@@ -75,4 +79,5 @@ __all__ = [
     "UnorderedIterationRule",
     "ShardFloatMergeRule",
     "DiagnosticChannelRule",
+    "PerWindowLoopRule",
 ]

@@ -16,6 +16,7 @@ __all__ = ["FillConfig"]
 
 _SOLVERS = ("mcf-ssp", "mcf-simplex", "mcf-costscaling", "lp")
 _BACKENDS = ("process", "thread", "serial")
+_KERNELS = ("rect", "raster")
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,14 @@ class FillConfig:
         ``REPRO_SANITIZE=shard`` in the environment; ``False`` forces
         it off.  Costs one pickle round per shard when armed, nothing
         when off.
+    kernel:
+        Geometry/density kernel for the per-window hot paths:
+        ``"rect"`` (the scanline rect-set oracle) or ``"raster"``
+        (coordinate-compressed numpy occupancy grids + integral images,
+        :mod:`repro.density.raster`).  Both produce bit-identical
+        GDSII — the raster kernel is exact, not an approximation — so
+        this is purely a speed knob; the rect path stays as the oracle
+        the CI kernel-parity gate compares against.
     """
 
     lambda_factor: float = 1.1
@@ -100,6 +109,7 @@ class FillConfig:
     workers: int = 1
     parallel: str = "process"
     sanitize: Optional[bool] = None
+    kernel: str = "rect"
 
     def __post_init__(self) -> None:
         if self.lambda_factor < 1.0:
@@ -122,6 +132,8 @@ class FillConfig:
             raise ValueError("workers cannot be negative (0 means one per core)")
         if self.parallel not in _BACKENDS:
             raise ValueError(f"parallel must be one of {_BACKENDS}")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "FillConfig":

@@ -130,6 +130,7 @@ class DummyFillEngine:
                         workers=config.effective_workers(),
                         parallel=config.parallel,
                         sanitize=config.sanitize,
+                        kernel=config.kernel,
                     )
                 else:
                     analysis_span.annotate(reused=True)
@@ -228,7 +229,7 @@ class DummyFillEngine:
         updated: Dict[int, LayerDensity] = {}
         for n, ld in analysis.items():
             existing = (
-                fill_density_map(layout.layer(n), grid)
+                fill_density_map(layout.layer(n), grid, kernel=self.config.kernel)
                 if layout.layer(n).num_fills
                 else 0.0
             )

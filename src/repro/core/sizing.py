@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import obs
 from ..contracts import check_drc_params
 from ..geometry import GridIndex, Rect
@@ -108,24 +110,52 @@ def _prelegalize(fills: List[_Fill], rules: DrcRules) -> int:
     spacing even if both fills shrink to their minimum legal size.
     Returns the number of dropped fills.
     """
+    dropped, _ = _prelegalize_and_pairs(fills, rules)
+    return dropped
+
+
+def _prelegalize_and_pairs(
+    fills: List[_Fill], rules: DrcRules
+) -> Tuple[int, Dict[int, List[Tuple[int, int]]]]:
+    """Pre-legalise and collect the surviving close pairs in one scan.
+
+    Fills only ever shrink, so every gap measure is monotone
+    non-decreasing over the passes: a pair beyond the minimum spacing
+    now can never come within it later.  The close pairs of the
+    surviving (post-drop) fills are therefore a valid superset for
+    every subsequent pass and for the final spacing sweep — in either
+    axis orientation, since transposition preserves distances.  The
+    pairs come out in the exact order a fresh per-pass index scan over
+    the survivors would visit them (lexicographic by survivor
+    position: survivors keep their relative order, and the index
+    returns hits in insertion order), because the constraint order
+    feeds the flow network's arc order and must not change.
+    """
     dropped = 0
-    by_layer: Dict[int, List[_Fill]] = {}
-    for f in fills:
-        by_layer.setdefault(f.layer, []).append(f)
+    sm = rules.min_spacing
+    by_layer: Dict[int, List[Tuple[int, _Fill]]] = {}
+    for g, f in enumerate(fills):
+        by_layer.setdefault(f.layer, []).append((g, f))
+    raw_pairs: List[Tuple[int, int]] = []
     for layer_fills in by_layer.values():
-        index: GridIndex[_Fill] = GridIndex(
-            max(64, rules.max_fill_width + rules.min_spacing)
+        index: GridIndex[Tuple[int, _Fill]] = GridIndex(
+            max(64, rules.max_fill_width + sm)
         )
-        for f in layer_fills:
-            index.insert(f.rect, f)
-        for f in layer_fills:
+        for entry in layer_fills:
+            index.insert(entry[1].rect, entry)
+        seen = set()
+        for g, f in layer_fills:
             if not f.alive:
                 continue
-            for rect, other in index.query_within(f.rect, rules.min_spacing):
+            for rect, (h, other) in index.query_within(f.rect, sm):
                 if other is f or not other.alive or not f.alive:
                     continue
-                if f.rect.euclidean_gap(other.rect) >= rules.min_spacing:
+                if f.rect.euclidean_gap(other.rect) >= sm:
                     continue
+                key = (g, h) if g < h else (h, g)
+                if key not in seen:
+                    seen.add(key)
+                    raw_pairs.append(key)
                 if f.rect.overlaps(other.rect):
                     # Same-layer overlap: no pass owns a repair axis for
                     # it, so resolve it here outright.
@@ -137,11 +167,25 @@ def _prelegalize(fills: List[_Fill], rules: DrcRules) -> int:
                 gap_y = _achievable_gap_x(
                     _transpose(f.rect), _transpose(other.rect), rules
                 )
-                if gap_x < rules.min_spacing and gap_y < rules.min_spacing:
+                if gap_x < sm and gap_y < sm:
                     victim = f if f.rect.area <= other.rect.area else other
                     victim.alive = False
                     dropped += 1
-    return dropped
+    # Map the surviving pairs onto positions in the post-drop live
+    # list (the variable numbering every pass uses).
+    live_pos: Dict[int, int] = {}
+    pos = 0
+    for g, f in enumerate(fills):
+        if f.alive:
+            live_pos[g] = pos
+            pos += 1
+    close_pairs: Dict[int, List[Tuple[int, int]]] = {
+        layer: [] for layer in by_layer
+    }
+    for g, h in raw_pairs:
+        if fills[g].alive and fills[h].alive:
+            close_pairs[fills[g].layer].append((live_pos[g], live_pos[h]))
+    return dropped, close_pairs
 
 
 # ----------------------------------------------------------------------
@@ -172,20 +216,102 @@ def _overlay_slopes(
     return slope_left, slope_right
 
 
+#: per-layer neighbor wire coordinates, prepacked as int64 arrays
+#: (xl, xh, yl, yh) — built once per window per axis by
+#: :func:`size_window` and reused across every pass of that axis.
+_WireArrays = Mapping[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+
+
+def _pack_rects(rects: Sequence[Rect]) -> Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]:
+    """Coordinate arrays of a rect list (the slope-matrix operands)."""
+    m = len(rects)
+    return (
+        np.fromiter((s.xl for s in rects), np.int64, m),
+        np.fromiter((s.xh for s in rects), np.int64, m),
+        np.fromiter((s.yl for s in rects), np.int64, m),
+        np.fromiter((s.yh for s in rects), np.int64, m),
+    )
+
+
+def _batch_overlay_slopes(
+    live: Sequence["_Fill"],
+    wire_arrays: _WireArrays,
+    fill_neighbors: Mapping[int, Sequence[Rect]],
+) -> List[Tuple[int, int]]:
+    """:func:`_overlay_slopes` for every live fill at once.
+
+    One fills x neighbors coordinate matrix per layer replaces the
+    per-fill Python scan over the neighbor list; the summed int64
+    heights are the exact integers the scalar routine accumulates
+    (which keeps :func:`_overlay_slopes` as its oracle in the tests).
+    The neighbor set is split into frozen wires (prepacked arrays,
+    shared by all passes of an axis) and the adjacent layers' live
+    fills (repacked per pass, since they shrink); the sums are
+    order-independent, so the split changes no value.
+    """
+    out: List[Tuple[int, int]] = [(0, 0)] * len(live)
+    by_layer: Dict[int, List[int]] = {}
+    for k, f in enumerate(live):
+        by_layer.setdefault(f.layer, []).append(k)
+    for layer, idxs in by_layer.items():
+        wires = wire_arrays.get(layer)
+        fill_neigh = fill_neighbors.get(layer, ())
+        if fill_neigh:
+            fxl_n, fxh_n, fyl_n, fyh_n = _pack_rects(fill_neigh)
+            if wires is not None and len(wires[0]):
+                nxl = np.concatenate([wires[0], fxl_n])
+                nxh = np.concatenate([wires[1], fxh_n])
+                nyl = np.concatenate([wires[2], fyl_n])
+                nyh = np.concatenate([wires[3], fyh_n])
+            else:
+                nxl, nxh, nyl, nyh = fxl_n, fxh_n, fyl_n, fyh_n
+        elif wires is not None and len(wires[0]):
+            nxl, nxh, nyl, nyh = wires
+        else:
+            continue
+        n = len(idxs)
+        fxl = np.fromiter((live[k].rect.xl for k in idxs), np.int64, n)
+        fxh = np.fromiter((live[k].rect.xh for k in idxs), np.int64, n)
+        fyl = np.fromiter((live[k].rect.yl for k in idxs), np.int64, n)
+        fyh = np.fromiter((live[k].rect.yh for k in idxs), np.int64, n)
+        h_ov = np.minimum(fyh[:, None], nyh[None, :]) - np.maximum(
+            fyl[:, None], nyl[None, :]
+        )
+        w_ov = np.minimum(fxh[:, None], nxh[None, :]) - np.maximum(
+            fxl[:, None], nxl[None, :]
+        )
+        height = np.where((h_ov > 0) & (w_ov > 0), h_ov, 0)
+        right = (height * (fxh[:, None] <= nxh[None, :])).sum(axis=1)
+        left = (height * (fxl[:, None] >= nxl[None, :])).sum(axis=1)
+        for pos, k in enumerate(idxs):
+            out[k] = (int(left[pos]), int(right[pos]))
+    return out
+
+
 def _horizontal_pass(
     fills: List[_Fill],
-    neighbors_of: Mapping[int, Sequence[Rect]],
+    wire_arrays: _WireArrays,
+    fill_neighbors: Mapping[int, Sequence[Rect]],
+    close_pairs: Mapping[int, Sequence[Tuple[int, int]]],
     excess_area: Mapping[int, float],
     layer_height_sum: Mapping[int, int],
     rules: DrcRules,
     config: FillConfig,
     solve: Callable[[DifferentialLP], object],
     stats: SizingStats,
-) -> None:
-    """One Eqn. (14) pass over the x coordinates of all live fills."""
+) -> bool:
+    """One Eqn. (14) pass over the x coordinates of all live fills.
+
+    Returns whether any fill coordinate actually moved — the signal
+    :func:`size_window` uses to stop iterating once a whole x+y round
+    is a fixed point (every later round would see identical inputs and
+    produce the identical no-op solution).
+    """
     live = [f for f in fills if f.alive]
     if not live:
-        return
+        return False
     step = config.effective_step(rules.max_fill_width, rules.max_fill_height)
     lp = DifferentialLP()
     var_lo: List[int] = []
@@ -198,14 +324,16 @@ def _horizontal_pass(
             total_h = max(1, layer_height_sum.get(layer, 1))
             budget[layer] = max(1, min(step, int(-(-excess // total_h))))
 
-    for f in live:
+    slopes = _batch_overlay_slopes(live, wire_arrays, fill_neighbors)
+    trivial = True
+    for k, f in enumerate(live):
         r = f.rect
         h0 = r.height
         min_w = rules.min_width_for_height(h0)
         excess = excess_area.get(f.layer, 0.0)
         sign = 1 if excess > 0 else -1
         move = budget.get(f.layer, step) if sign > 0 else step
-        sl, sr = _overlay_slopes(r, neighbors_of.get(f.layer, ()))
+        sl, sr = slopes[k]
         eta = config.eta
         # Coefficients are doubled and biased by one unit toward keeping
         # the current size: when the density loss of shrinking exactly
@@ -224,49 +352,49 @@ def _horizontal_pass(
         lp.add_constraint(i_xh, i_xl, min_w)
         var_lo.append(i_xl)
         var_hi.append(i_xh)
+        if c_xl <= 0 or c_xh >= 0:
+            trivial = False
 
-    # Eqn. (13): spacing constraints for close pairs, per layer.
-    by_layer: Dict[int, List[int]] = {}
-    for k, f in enumerate(live):
-        by_layer.setdefault(f.layer, []).append(k)
-    for idxs in by_layer.values():
-        index: GridIndex[int] = GridIndex(
-            max(64, rules.max_fill_width + rules.min_spacing)
-        )
-        for k in idxs:
-            index.insert(live[k].rect, k)
-        seen = set()
-        for k in idxs:
+    # Eqn. (13): spacing constraints for close pairs, per layer.  The
+    # pair lists were computed once per window (`_prelegalize_and_pairs`)
+    # and only the current-geometry gap needs re-checking here.
+    for pairs in close_pairs.values():
+        for k, m in pairs:
             fk = live[k].rect
-            for rect, m in index.query_within(fk, rules.min_spacing):
-                if m == k or (min(k, m), max(k, m)) in seen:
-                    continue
-                seen.add((min(k, m), max(k, m)))
-                fm = rect
-                if fk.euclidean_gap(fm) >= rules.min_spacing:
-                    continue
-                # Repair along the axis where the pair does NOT overlap:
-                # a pair stacked with overlapping x-spans separates
-                # naturally in y (the transposed pass), and forcing an
-                # x-separation instead would carve a whole fill width
-                # out of both fills.
-                x_overlap = min(fk.xh, fm.xh) - max(fk.xl, fm.xl)
-                if x_overlap > 0:
-                    continue  # the vertical pass owns this pair
-                if fk.gap_y(fm) > 0 and _achievable_gap_x(fk, fm, rules) < rules.min_spacing:
-                    continue  # diagonal pair, only repairable in y
-                left, right = (k, m) if fk.xl <= fm.xl else (m, k)
-                # x_l(right) - x_h(left) >= sm; widen the trust region of
-                # the two variables so the repair is feasible this pass.
-                need = rules.min_spacing - (live[right].rect.xl - live[left].rect.xh)
-                if need > 0:
-                    _widen_for_repair(
-                        lp, var_hi[left], need, rules, live[left].rect
-                    )
-                    _widen_for_repair_up(
-                        lp, var_lo[right], need, rules, live[right].rect
-                    )
-                lp.add_constraint(var_lo[right], var_hi[left], rules.min_spacing)
+            fm = live[m].rect
+            if fk.euclidean_gap(fm) >= rules.min_spacing:
+                continue
+            # Repair along the axis where the pair does NOT overlap:
+            # a pair stacked with overlapping x-spans separates
+            # naturally in y (the transposed pass), and forcing an
+            # x-separation instead would carve a whole fill width
+            # out of both fills.
+            x_overlap = min(fk.xh, fm.xh) - max(fk.xl, fm.xl)
+            if x_overlap > 0:
+                continue  # the vertical pass owns this pair
+            if fk.gap_y(fm) > 0 and _achievable_gap_x(fk, fm, rules) < rules.min_spacing:
+                continue  # diagonal pair, only repairable in y
+            left, right = (k, m) if fk.xl <= fm.xl else (m, k)
+            # x_l(right) - x_h(left) >= sm; widen the trust region of
+            # the two variables so the repair is feasible this pass.
+            need = rules.min_spacing - (live[right].rect.xl - live[left].rect.xh)
+            if need > 0:
+                _widen_for_repair(
+                    lp, var_hi[left], need, rules, live[left].rect
+                )
+                _widen_for_repair_up(
+                    lp, var_lo[right], need, rules, live[right].rect
+                )
+            lp.add_constraint(var_lo[right], var_hi[left], rules.min_spacing)
+
+    if trivial and lp.num_constraints == len(live):
+        # Every cost pair is (positive, negative) — each x_lo's unique
+        # optimum is its lower bound (the current left edge) and each
+        # x_hi's its upper bound (the current right edge) — and with no
+        # spacing constraints every component is one fill whose width
+        # constraint already holds at those bounds.  The solver would
+        # return the current coordinates verbatim; skip it.
+        return False
 
     stats.lp_solves += 1
     stats.variables += lp.num_variables
@@ -279,12 +407,17 @@ def _horizontal_pass(
     except LPInfeasibleError:
         # Extremely rare residue of diagonal pairs; keep current sizes —
         # the vertical pass or the final cleanup resolves the conflict.
-        return
+        return False
     x = list(solution.x)
+    changed = False
     for k, f in enumerate(live):
         r = f.rect
-        new = Rect(x[var_lo[k]], r.yl, x[var_hi[k]], r.yh)
-        f.rect = new
+        new_xl = x[var_lo[k]]
+        new_xh = x[var_hi[k]]
+        if new_xl != r.xl or new_xh != r.xh:
+            f.rect = Rect(new_xl, r.yl, new_xh, r.yh)
+            changed = True
+    return changed
 
 
 def _widen_for_repair(
@@ -330,11 +463,38 @@ def size_window(
         for layer, rects in sorted(candidates.items())
         for rect in rects
     ]
-    stats.dropped_fills += _prelegalize(fills, rules)
+    # The live-fill list is stable across all passes (fills die only in
+    # pre-legalisation here and in the post-pass cull below), so the
+    # close-pair positions stay valid for the whole iteration loop.
+    dropped, close_pairs = _prelegalize_and_pairs(fills, rules)
+    stats.dropped_fills += dropped
+    live0 = [f for f in fills if f.alive]
     solve = _solver_fn(config.solver)
     layer_numbers = sorted(candidates.keys())
 
+    # Cross-layer neighbor *wires*, frozen for the whole window: packed
+    # into coordinate arrays once per axis and reused by every pass.
+    # Each Eqn. (9c) overlay term ov(l, l+1) must be priced exactly
+    # once: fill-vs-wire overlay is charged to the fill's own layer,
+    # while fill-vs-fill overlay is charged to the even layer of the
+    # pair only (the layer whose candidates Alg. 1 chose against the
+    # odd layers).  Charging both sides would double η and make
+    # stacked layers shrink-chase each other.
+    wire_arrays_by_axis: Dict[str, Dict[int, Tuple[np.ndarray, ...]]] = {}
+    for axis in ("x", "y"):
+        per_layer: Dict[int, Tuple[np.ndarray, ...]] = {}
+        for l in layer_numbers:
+            wires: List[Rect] = []
+            for adj in (l - 1, l + 1):
+                if adj in candidates or adj in wires_nearby:
+                    wires.extend(wires_nearby.get(adj, ()))
+            if axis == "y":
+                wires = [_transpose(w) for w in wires]
+            per_layer[l] = _pack_rects(wires)
+        wire_arrays_by_axis[axis] = per_layer
+
     for _ in range(config.sizing_iterations):
+        iteration_changed = False
         for axis in ("x", "y"):
             live = [f for f in fills if f.alive]
             if not live:
@@ -342,43 +502,56 @@ def size_window(
             if axis == "y":
                 for f in live:
                     f.rect = _transpose(f.rect)
-            # Cross-layer neighbor metal, frozen for this pass.  Each
-            # Eqn. (9c) overlay term ov(l, l+1) must be priced exactly
-            # once: fill-vs-wire overlay is charged to the fill's own
-            # layer, while fill-vs-fill overlay is charged to the even
-            # layer of the pair only (the layer whose candidates Alg. 1
-            # chose against the odd layers).  Charging both sides would
-            # double η and make stacked layers shrink-chase each other.
-            neighbors_of: Dict[int, List[Rect]] = {}
-            for l in layer_numbers:
-                shapes: List[Rect] = []
-                for adj in (l - 1, l + 1):
-                    if adj in candidates or adj in wires_nearby:
-                        wires = wires_nearby.get(adj, ())
-                        if axis == "y":
-                            shapes.extend(_transpose(w) for w in wires)
-                        else:
-                            shapes.extend(wires)
-                        if l % 2 == 0:
-                            shapes.extend(
-                                f.rect for f in live if f.layer == adj
-                            )
-                neighbors_of[l] = shapes
+            # One bucketing scan over the live fills feeds both the
+            # per-layer area/height totals and (for even layers) the
+            # adjacent layers' fill rects for the overlay slopes.
+            # Summation order per layer is the live order, exactly as
+            # the per-layer generator sums produced.
+            rects_by_layer: Dict[int, List[Rect]] = {}
+            area_sum: Dict[int, int] = {}
+            h_sum: Dict[int, int] = {}
+            for f in live:
+                r = f.rect
+                rects_by_layer.setdefault(f.layer, []).append(r)
+                area_sum[f.layer] = area_sum.get(f.layer, 0) + r.area
+                h_sum[f.layer] = h_sum.get(f.layer, 0) + 2 * r.height
+            # A layer's live fills exist only when that layer has
+            # candidates, so the adjacency guard of the wire gathering
+            # above is vacuous here.
+            fill_neighbors: Dict[int, List[Rect]] = {
+                l: list(rects_by_layer.get(l - 1, ()))
+                + list(rects_by_layer.get(l + 1, ()))
+                for l in layer_numbers
+                if l % 2 == 0
+            }
             excess: Dict[int, float] = {}
             height_sum: Dict[int, int] = {}
             for l in layer_numbers:
-                area = sum(f.rect.area for f in live if f.layer == l)
-                excess[l] = area - float(target_fill_area.get(l, 0.0))
-                height_sum[l] = sum(
-                    2 * f.rect.height for f in live if f.layer == l
+                excess[l] = area_sum.get(l, 0) - float(
+                    target_fill_area.get(l, 0.0)
                 )
-            _horizontal_pass(
-                fills, neighbors_of, excess, height_sum, rules, config, solve, stats
+                height_sum[l] = h_sum.get(l, 0)
+            iteration_changed |= _horizontal_pass(
+                fills,
+                wire_arrays_by_axis[axis],
+                fill_neighbors,
+                close_pairs,
+                excess,
+                height_sum,
+                rules,
+                config,
+                solve,
+                stats,
             )
             if axis == "y":
                 for f in fills:
                     if f.alive:
                         f.rect = _transpose(f.rect)
+        # A full x+y round that moved nothing is a fixed point: every
+        # remaining round would rebuild the identical LPs and return
+        # the identical no-op solutions.  Skip them.
+        if not iteration_changed:
+            break
 
     # Post-sizing cull: where a layer still exceeds its target (the λ
     # over-generation margin of Alg. 1), deleting whole small fills both
@@ -407,7 +580,7 @@ def size_window(
         if f.alive and not rules.is_legal_fill(f.rect):
             f.alive = False
             stats.dropped_fills += 1
-    stats.dropped_fills += _prelegalize_strict(fills, rules)
+    stats.dropped_fills += _strict_sweep_pairs(live0, close_pairs, rules)
     result: Dict[int, List[Rect]] = {l: [] for l in layer_numbers}
     for f in fills:
         if f.alive:
@@ -415,8 +588,40 @@ def size_window(
     return result, stats
 
 
+def _strict_sweep_pairs(
+    live0: Sequence[_Fill],
+    close_pairs: Mapping[int, Sequence[Tuple[int, int]]],
+    rules: DrcRules,
+) -> int:
+    """:func:`_prelegalize_strict` replayed over the close-pair lists.
+
+    Gaps only grow, so the still-close pairs at the end of sizing are a
+    subset of the pairs collected up front; visiting them in list order
+    reproduces the index scan's first-visit order (and hence the same
+    victim cascade) without rebuilding any spatial index.
+    """
+    dropped = 0
+    sm = rules.min_spacing
+    for pairs in close_pairs.values():
+        for a, b in pairs:
+            f = live0[a]
+            other = live0[b]
+            if not f.alive or not other.alive:
+                continue
+            if f.rect.euclidean_gap(other.rect) < sm:
+                victim = f if f.rect.area <= other.rect.area else other
+                victim.alive = False
+                dropped += 1
+    return dropped
+
+
 def _prelegalize_strict(fills: List[_Fill], rules: DrcRules) -> int:
-    """Drop the smaller fill of every remaining close pair."""
+    """Drop the smaller fill of every remaining close pair.
+
+    The index-scan oracle for :func:`_strict_sweep_pairs` (kept for the
+    equivalence tests; the sizing path replays the precomputed pair
+    lists instead of rebuilding an index here).
+    """
     dropped = 0
     by_layer: Dict[int, List[_Fill]] = {}
     for f in fills:

@@ -68,21 +68,31 @@ def _area_map(shapes: Sequence[Rect], grid: WindowGrid, *, exact_union: bool) ->
     return areas
 
 
-def wire_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+def _kernel_area_map(
+    shapes: Sequence[Rect], grid: WindowGrid, *, exact_union: bool, kernel: str
+) -> np.ndarray:
+    if kernel == "raster":
+        from .raster import raster_area_map
+
+        return raster_area_map(shapes, grid, exact_union=exact_union)
+    return _area_map(shapes, grid, exact_union=exact_union)
+
+
+def wire_density_map(layer: Layer, grid: WindowGrid, *, kernel: str = "rect") -> np.ndarray:
     """Wire density ``d_w(i, j)`` per window — the lower bound l(i, j)."""
-    areas = _area_map(layer.wires, grid, exact_union=True)
+    areas = _kernel_area_map(layer.wires, grid, exact_union=True, kernel=kernel)
     return _to_density(areas, grid)
 
 
-def fill_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+def fill_density_map(layer: Layer, grid: WindowGrid, *, kernel: str = "rect") -> np.ndarray:
     """Dummy-fill density per window."""
-    areas = _area_map(layer.fills, grid, exact_union=False)
+    areas = _kernel_area_map(layer.fills, grid, exact_union=False, kernel=kernel)
     return _to_density(areas, grid)
 
 
-def metal_density_map(layer: Layer, grid: WindowGrid) -> np.ndarray:
+def metal_density_map(layer: Layer, grid: WindowGrid, *, kernel: str = "rect") -> np.ndarray:
     """Total layout density d(i, j): wires plus fills."""
-    areas = _area_map(layer.shapes, grid, exact_union=True)
+    areas = _kernel_area_map(layer.shapes, grid, exact_union=True, kernel=kernel)
     return _to_density(areas, grid)
 
 
@@ -152,6 +162,40 @@ def usable_fill_area(region: Sequence[Rect], rules: DrcRules) -> int:
     )
 
 
+def _analyze_window(
+    index: GridIndex[int],
+    win: Rect,
+    win_area: int,
+    rules: DrcRules,
+    window_margin: int,
+) -> Tuple[float, float, List[Rect]]:
+    """Density bounds and fill region for one window.
+
+    The single per-window analysis body: ``l`` (wire density), ``u``
+    (wire density plus usable free space) and the feasible fill region.
+    Both the full analysis (:func:`analyze_layer`) and the incremental
+    path (:func:`refresh_analysis`) call this, so the two cannot drift;
+    the raster kernel replaces it wholesale with array passes that
+    reproduce its results bit for bit.
+    """
+    hits = index.query_overlapping(win)
+    if hits:
+        clipped = [r.intersection(win) for r, _ in hits]
+        wire_area = RectSet(c for c in clipped if c is not None).area
+    else:
+        wire_area = 0
+    lower = wire_area / win_area
+    inner = win.shrunk(window_margin) if window_margin else win
+    if inner is None:
+        region: List[Rect] = []
+    else:
+        nearby = index.query_within(inner, rules.min_spacing)
+        bloated = [r.expanded(rules.min_spacing) for r, _ in nearby]
+        region = rect_set_subtract([inner], bloated)
+    upper = min(1.0, lower + usable_fill_area(region, rules) / win_area)
+    return lower, upper, region
+
+
 @dataclass
 class LayerDensity:
     """Density-analysis product for one layer.
@@ -183,17 +227,35 @@ class LayerDensity:
 
 
 def analyze_layer(
-    layer: Layer, grid: WindowGrid, rules: DrcRules, window_margin: int = 0
+    layer: Layer,
+    grid: WindowGrid,
+    rules: DrcRules,
+    window_margin: int = 0,
+    *,
+    kernel: str = "rect",
 ) -> LayerDensity:
-    """Run density analysis for one layer."""
-    lower = wire_density_map(layer, grid)
-    regions = compute_fill_regions(layer, grid, rules, window_margin=window_margin)
-    upper = lower.copy()
-    for (i, j), region in regions.items():
-        win_area = grid.window_area(i, j)
-        upper[i, j] = min(
-            1.0, lower[i, j] + usable_fill_area(region, rules) / win_area
+    """Run density analysis for one layer.
+
+    ``kernel`` selects the implementation: ``"rect"`` is the scanline
+    rect-set oracle (one :func:`_analyze_window` call per window),
+    ``"raster"`` the vectorized occupancy-grid kernel
+    (:mod:`repro.density.raster`) whose output is bit-identical.
+    """
+    if kernel == "raster":
+        from .raster import raster_analyze_layer
+
+        return raster_analyze_layer(layer, grid, rules, window_margin)
+    index = _shape_index(layer.wires, grid.die)
+    lower = np.zeros((grid.cols, grid.rows), dtype=np.float64)
+    upper = np.zeros((grid.cols, grid.rows), dtype=np.float64)
+    regions: Dict[Tuple[int, int], List[Rect]] = {}
+    for i, j, win in grid:
+        lo, up, region = _analyze_window(
+            index, win, grid.window_area(i, j), rules, window_margin
         )
+        lower[i, j] = lo
+        upper[i, j] = up
+        regions[(i, j)] = region
     check_density(lower, name=f"layer {layer.number} lower density l(i,j)")
     check_density(upper, name=f"layer {layer.number} upper density u(i,j)")
     return LayerDensity(layer.number, lower, upper, regions)
@@ -212,16 +274,29 @@ class _AnalysisShared:
     grid: WindowGrid
     rules: DrcRules
     window_margin: int
+    kernel: str = "rect"
 
 
 def _analyze_shard(
     shared: _AnalysisShared, layers: Sequence[Layer]
 ) -> List[LayerDensity]:
-    """Worker entry point: density analysis over one shard of layers."""
+    """Worker entry point: density analysis over one shard of layers.
+
+    Raster state never crosses the shard boundary: with
+    ``kernel="raster"`` each worker rasterizes its own layers locally,
+    so only the plain :class:`_AnalysisShared` inputs and the resulting
+    :class:`LayerDensity` values are ever pickled.
+    """
     out: List[LayerDensity] = []
     for layer in layers:
         out.append(
-            analyze_layer(layer, shared.grid, shared.rules, shared.window_margin)
+            analyze_layer(
+                layer,
+                shared.grid,
+                shared.rules,
+                shared.window_margin,
+                kernel=shared.kernel,
+            )
         )
         obs.metrics.counter("analysis.layers").inc()
     return out
@@ -235,6 +310,7 @@ def analyze_layout(
     workers: int = 1,
     parallel: str = "process",
     sanitize: Optional[bool] = None,
+    kernel: str = "rect",
 ) -> Dict[int, LayerDensity]:
     """Density analysis for every layer of a layout.
 
@@ -247,9 +323,14 @@ def analyze_layout(
     ``{layer_number: LayerDensity}`` dict is bit-identical to the
     serial run for any worker count and backend.  ``workers=0`` means
     one worker per available core.  ``sanitize`` arms the shard
-    sanitizer (see :func:`repro.parallel.run_sharded`).
+    sanitizer (see :func:`repro.parallel.run_sharded`).  ``kernel``
+    selects the per-layer implementation (see :func:`analyze_layer`);
+    both produce identical results, so it composes freely with any
+    worker count.
     """
-    shared = _AnalysisShared(grid=grid, rules=layout.rules, window_margin=window_margin)
+    shared = _AnalysisShared(
+        grid=grid, rules=layout.rules, window_margin=window_margin, kernel=kernel
+    )
     layers = list(layout.layers)
     from ..parallel import resolve_workers, run_sharded, shard_items
 
@@ -282,6 +363,7 @@ def refresh_analysis(
     *,
     layers: Optional[Sequence[int]] = None,
     window_margin: int = 0,
+    kernel: str = "rect",
 ) -> Dict[int, LayerDensity]:
     """Recompute a cached analysis for a subset of windows and layers.
 
@@ -301,45 +383,43 @@ def refresh_analysis(
     fresh arrays and region dicts.
     """
     rules = layout.rules
-    spacing = rules.min_spacing
     keys = sorted(set(windows))
     changed = set(layout.layer_numbers if layers is None else layers)
     out: Dict[int, LayerDensity] = {}
+    refreshed_layers = 0
     for n in layout.layer_numbers:
         ld = cached[n]
         if n not in changed or not keys:
             out[n] = ld
             continue
         layer = layout.layer(n)
-        index = _shape_index(layer.wires, grid.die)
         lower = ld.lower.copy()
         upper = ld.upper.copy()
         regions = dict(ld.fill_regions)
-        for i, j in keys:
-            win = grid.window(i, j)
-            win_area = grid.window_area(i, j)
-            hits = index.query_overlapping(win)
-            if hits:
-                clipped = [r.intersection(win) for r, _ in hits]
-                wire_area = RectSet(c for c in clipped if c is not None).area
-            else:
-                wire_area = 0
-            lower[i, j] = wire_area / win_area
-            inner = win.shrunk(window_margin) if window_margin else win
-            if inner is None:
-                region: List[Rect] = []
-            else:
-                nearby = index.query_within(inner, spacing)
-                bloated = [r.expanded(spacing) for r, _ in nearby]
-                region = rect_set_subtract([inner], bloated)
-            regions[(i, j)] = region
-            upper[i, j] = min(
-                1.0, lower[i, j] + usable_fill_area(region, rules) / win_area
+        if kernel == "raster":
+            from .raster import raster_refresh_layer
+
+            raster_refresh_layer(
+                layer, grid, rules, window_margin, keys, lower, upper, regions
             )
+        else:
+            index = _shape_index(layer.wires, grid.die)
+            for i, j in keys:
+                lo, up, region = _analyze_window(
+                    index, grid.window(i, j), grid.window_area(i, j), rules, window_margin
+                )
+                lower[i, j] = lo
+                upper[i, j] = up
+                regions[(i, j)] = region
         check_density(lower, name=f"layer {n} lower density l(i,j)")
         check_density(upper, name=f"layer {n} upper density u(i,j)")
-        obs.count("analysis.refreshed_windows", len(keys))
+        refreshed_layers += 1
         out[n] = LayerDensity(n, lower, upper, regions)
+    # One refresh = one count of the dirtied windows, however many
+    # layers re-read them; the per-layer fan-out is its own metric.
+    if refreshed_layers:
+        obs.count("analysis.refreshed_windows", len(keys))
+        obs.count("analysis.refreshed_layers", refreshed_layers)
     return out
 
 
@@ -359,7 +439,9 @@ def overlay_area(lower: Layer, upper: Layer) -> int:
     return fills_vs_wires + wires_vs_fills + fills_vs_fills
 
 
-def overlay_map(lower: Layer, upper: Layer, grid: WindowGrid) -> np.ndarray:
+def overlay_map(
+    lower: Layer, upper: Layer, grid: WindowGrid, *, kernel: str = "rect"
+) -> np.ndarray:
     """Per-window fill-induced overlay area between two adjacent layers.
 
     Splits :func:`overlay_area` over the fixed dissection: each window
@@ -370,6 +452,10 @@ def overlay_map(lower: Layer, upper: Layer, grid: WindowGrid) -> np.ndarray:
     the largest cells are the ones a regressed Overlay* score points
     at.
     """
+    if kernel == "raster":
+        from .raster import raster_overlay_map
+
+        return raster_overlay_map(lower, upper, grid)
     from ..geometry import intersection_area
 
     pairs = (

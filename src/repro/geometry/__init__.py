@@ -5,8 +5,10 @@ rectangles (:mod:`~repro.geometry.rect`), 1-D interval sets
 (:mod:`~repro.geometry.interval`), scanline boolean operations on
 rectangle sets (:mod:`~repro.geometry.boolean`), rectilinear polygons
 and their rectangle decompositions (:mod:`~repro.geometry.polygon`,
-:mod:`~repro.geometry.poly2rect`), and a uniform-grid spatial index
-(:mod:`~repro.geometry.grid`).
+:mod:`~repro.geometry.poly2rect`), a uniform-grid spatial index
+(:mod:`~repro.geometry.grid`), and coordinate-compressed occupancy
+rasters with exact prefix-sum box queries
+(:mod:`~repro.geometry.raster`).
 """
 
 from .boolean import (
@@ -23,6 +25,7 @@ from .grid import GridIndex
 from .interval import IntervalSet
 from .polygon import RectilinearPolygon
 from .poly2rect import gourley_green, polygon_to_rects, scanline_decompose
+from .raster import BoolArray, IntArray, Raster, merge_mask_runs
 from .rect import Rect, bounding_box
 
 __all__ = [
@@ -38,6 +41,10 @@ __all__ = [
     "rect_set_union",
     "union_area",
     "GridIndex",
+    "Raster",
+    "IntArray",
+    "BoolArray",
+    "merge_mask_runs",
     "RectilinearPolygon",
     "gourley_green",
     "polygon_to_rects",

@@ -1,0 +1,354 @@
+"""Coordinate-compressed occupancy rasters with exact box sums.
+
+The array core under :mod:`repro.density.raster`: a set of integer
+rectangles is rasterized **once** onto the non-uniform grid induced by
+its own edge coordinates (plus any caller-supplied cut lines, e.g.
+window boundaries).  On that grid every input rectangle is a union of
+whole cells, so the raster is *exact* — not an approximation at some
+fixed resolution — while every downstream per-window quantity becomes
+an array operation:
+
+* multiplicity per cell (``counts``) via a 2-D difference array and two
+  cumulative sums,
+* union/covered area via the boolean occupancy (``counts > 0``) times
+  the cell areas,
+* per-window aggregation via 2-D prefix sums (integral images) sampled
+  at the window cut lines,
+* overlay between two rect sets via elementwise AND of occupancies on a
+  shared grid,
+* arbitrary (edge-unaligned) box queries via the core + strips +
+  corners decomposition of the integral image, still exact because the
+  count is constant inside each cell,
+* canonical free-region recovery via maximal-run extraction and
+  vertical merging, matching the scanline oracle's output rect list.
+
+Everything stays int64; no floating point enters until a caller divides
+by window areas, which keeps the raster path bit-compatible with the
+rect-set oracle in :mod:`repro.geometry.boolean`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["IntArray", "BoolArray", "Raster", "merge_mask_runs"]
+
+IntArray = np.ndarray[Any, np.dtype[np.int64]]
+BoolArray = np.ndarray[Any, np.dtype[np.bool_]]
+
+_I64 = np.int64
+
+
+def _as_edges(values: Sequence[int]) -> IntArray:
+    """Sorted distinct int64 edge coordinates."""
+    return np.unique(np.asarray(list(values), dtype=_I64))
+
+
+def _span(lo: IntArray, hi: IntArray, extra: Sequence[int]) -> Tuple[int, int]:
+    """Coordinate span of a raster axis.
+
+    With ``extra`` cut lines the span is *their* extent — shapes are
+    clipped to the frame the caller laid out; without, it is the
+    shapes' own extent.
+    """
+    if len(extra):
+        return min(extra), max(extra)
+    if len(lo):
+        return int(np.asarray(lo).min()), int(np.asarray(hi).max())
+    return 0, 0
+
+
+class Raster:
+    """Multiplicity raster of a rectangle set on a compressed grid.
+
+    ``xs``/``ys`` are the sorted distinct cut coordinates (cell
+    boundaries); cell ``(i, j)`` spans ``[xs[i], xs[i+1]) x
+    [ys[j], ys[j+1])`` and ``counts[i, j]`` is the number of input
+    rectangles covering it.  Rectangles are clipped to the edge span;
+    degenerate rectangles contribute nothing.
+    """
+
+    __slots__ = ("xs", "ys", "counts")
+
+    def __init__(self, xs: IntArray, ys: IntArray, counts: IntArray):
+        self.xs = xs
+        self.ys = ys
+        self.counts = counts
+
+    @classmethod
+    def from_rects(
+        cls,
+        rects: Sequence[Rect],
+        extra_x: Sequence[int] = (),
+        extra_y: Sequence[int] = (),
+    ) -> "Raster":
+        """Rasterize ``rects`` onto their own coordinate grid.
+
+        ``extra_x``/``extra_y`` add cut lines (e.g. window boundaries)
+        so later window aggregation lands exactly on cell boundaries.
+        """
+        n = len(rects)
+        x0: IntArray = np.empty(n, dtype=_I64)
+        y0: IntArray = np.empty(n, dtype=_I64)
+        x1: IntArray = np.empty(n, dtype=_I64)
+        y1: IntArray = np.empty(n, dtype=_I64)
+        for k, r in enumerate(rects):
+            x0[k] = r.xl
+            y0[k] = r.yl
+            x1[k] = r.xh
+            y1[k] = r.yh
+        return cls.from_arrays(x0, y0, x1, y1, extra_x, extra_y)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        x0: IntArray,
+        y0: IntArray,
+        x1: IntArray,
+        y1: IntArray,
+        extra_x: Sequence[int] = (),
+        extra_y: Sequence[int] = (),
+    ) -> "Raster":
+        """Rasterize rectangles given as coordinate arrays.
+
+        Rectangle coordinates are *clipped to the span of the combined
+        edge set* before becoming edges themselves, so callers can pass
+        ``extra_*`` bounds (e.g. one window-column strip) and shapes
+        hanging past them without inflating the grid: only the clipped
+        part contributes edges and coverage.
+        """
+        lo_x, hi_x = _span(x0, x1, extra_x)
+        lo_y, hi_y = _span(y0, y1, extra_y)
+        cx0 = np.clip(np.asarray(x0, dtype=_I64), lo_x, hi_x)
+        cx1 = np.clip(np.asarray(x1, dtype=_I64), lo_x, hi_x)
+        cy0 = np.clip(np.asarray(y0, dtype=_I64), lo_y, hi_y)
+        cy1 = np.clip(np.asarray(y1, dtype=_I64), lo_y, hi_y)
+        keep = (cx1 > cx0) & (cy1 > cy0)
+        cx0, cx1, cy0, cy1 = cx0[keep], cx1[keep], cy0[keep], cy1[keep]
+        xs = np.unique(np.concatenate([cx0, cx1, np.asarray(list(extra_x), dtype=_I64)]))
+        ys = np.unique(np.concatenate([cy0, cy1, np.asarray(list(extra_y), dtype=_I64)]))
+        nx = max(0, len(xs) - 1)
+        ny = max(0, len(ys) - 1)
+        counts: IntArray = np.zeros((nx, ny), dtype=_I64)
+        if nx and ny and len(cx0):
+            i0 = np.searchsorted(xs, cx0)
+            i1 = np.searchsorted(xs, cx1)
+            j0 = np.searchsorted(ys, cy0)
+            j1 = np.searchsorted(ys, cy1)
+            diff: IntArray = np.zeros((nx + 1, ny + 1), dtype=_I64)
+            np.add.at(diff, (i0, j0), 1)
+            np.add.at(diff, (i1, j0), -1)
+            np.add.at(diff, (i0, j1), -1)
+            np.add.at(diff, (i1, j1), 1)
+            counts = diff.cumsum(axis=0).cumsum(axis=1)[:nx, :ny]
+        return cls(xs, ys, counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return int(self.counts.size)
+
+    def cell_widths(self) -> IntArray:
+        return np.diff(self.xs)
+
+    def cell_heights(self) -> IntArray:
+        return np.diff(self.ys)
+
+    def cell_areas(self) -> IntArray:
+        """Outer product of cell widths and heights, int64."""
+        return np.outer(self.cell_widths(), self.cell_heights())
+
+    def occupancy(self) -> BoolArray:
+        """Boolean covered-per-cell (the union view of the rect set)."""
+        return self.counts > 0
+
+    # ------------------------------------------------------------------
+    def cut_indices(self, cuts: Sequence[int], *, axis: str = "x") -> IntArray:
+        """Edge indices of ``cuts``, which must be existing edges."""
+        edges = self.xs if axis == "x" else self.ys
+        wanted = np.asarray(list(cuts), dtype=_I64)
+        if len(edges) == 0:
+            raise ValueError("raster has no edges")
+        idx = np.searchsorted(edges, wanted)
+        safe = np.minimum(idx, len(edges) - 1)
+        if bool((idx >= len(edges)).any()) or bool((edges[safe] != wanted).any()):
+            raise ValueError(f"{axis} cuts must be existing raster edge coordinates")
+        return idx.astype(_I64)
+
+    def window_sums(
+        self, values: IntArray, x_cuts: Sequence[int], y_cuts: Sequence[int]
+    ) -> IntArray:
+        """Block sums of a per-cell array between consecutive cut lines.
+
+        ``x_cuts``/``y_cuts`` must be existing edge coordinates (pass
+        the window boundaries to :meth:`from_rects` as ``extra_*``).
+        Returns a ``(len(x_cuts)-1, len(y_cuts)-1)`` int64 array.
+        """
+        nwx = max(0, len(x_cuts) - 1)
+        nwy = max(0, len(y_cuts) - 1)
+        if self.num_cells == 0 or nwx == 0 or nwy == 0:
+            return np.zeros((nwx, nwy), dtype=_I64)
+        nx, ny = values.shape
+        pref: IntArray = np.zeros((nx + 1, ny + 1), dtype=_I64)
+        pref[1:, 1:] = values.cumsum(axis=0).cumsum(axis=1)
+        xi = self.cut_indices(x_cuts, axis="x")
+        yj = self.cut_indices(y_cuts, axis="y")
+        block = pref[np.ix_(xi, yj)]
+        result: IntArray = block[1:, 1:] - block[:-1, 1:] - block[1:, :-1] + block[:-1, :-1]
+        return result
+
+    def covered_window_areas(self, x_cuts: Sequence[int], y_cuts: Sequence[int]) -> IntArray:
+        """Exact union area of the rect set inside each window."""
+        if self.num_cells == 0:
+            return np.zeros((max(0, len(x_cuts) - 1), max(0, len(y_cuts) - 1)), dtype=_I64)
+        occ_area: IntArray = self.occupancy().astype(_I64) * self.cell_areas()
+        return self.window_sums(occ_area, x_cuts, y_cuts)
+
+    # ------------------------------------------------------------------
+    def weighted_area_sums(
+        self, qx0: IntArray, qy0: IntArray, qx1: IntArray, qy1: IntArray
+    ) -> IntArray:
+        """``Σ counts · overlap_area`` for a batch of arbitrary boxes.
+
+        For each query box this equals ``Σ_r area(box ∩ r)`` over the
+        input rectangles — intersection *with multiplicity*, the
+        quantity the Eqn. (8) overlay term sums shape by shape.  Boxes
+        need not be aligned to raster edges; they are clipped to the
+        raster span.  The decomposition is core (whole cells, via the
+        area-weighted integral image) + partial-width column strips +
+        partial-height row strips + corner cells, all exact int64.
+        """
+        nq = len(qx0)
+        zero: IntArray = np.zeros(nq, dtype=_I64)
+        if self.num_cells == 0 or nq == 0:
+            return zero
+        xs, ys, c = self.xs, self.ys, self.counts
+        nx, ny = c.shape
+        x0 = np.clip(np.asarray(qx0, dtype=_I64), xs[0], xs[-1])
+        y0 = np.clip(np.asarray(qy0, dtype=_I64), ys[0], ys[-1])
+        x1 = np.clip(np.asarray(qx1, dtype=_I64), xs[0], xs[-1])
+        y1 = np.clip(np.asarray(qy1, dtype=_I64), ys[0], ys[-1])
+        valid = (x1 > x0) & (y1 > y0)
+        if not bool(valid.any()):
+            return zero
+        dx = self.cell_widths()
+        dy = self.cell_heights()
+        area_pref: IntArray = np.zeros((nx + 1, ny + 1), dtype=_I64)
+        area_pref[1:, 1:] = (c * np.outer(dx, dy)).cumsum(axis=0).cumsum(axis=1)
+        # Per-column prefix along y of c*dy, and per-row prefix along x
+        # of c*dx, for the partial strips.
+        col_pref: IntArray = np.zeros((nx, ny + 1), dtype=_I64)
+        col_pref[:, 1:] = (c * dy[np.newaxis, :]).cumsum(axis=1)
+        row_pref: IntArray = np.zeros((nx + 1, ny), dtype=_I64)
+        row_pref[1:, :] = (c * dx[:, np.newaxis]).cumsum(axis=0)
+        # Cell indices of the columns/rows containing each query edge.
+        i0 = np.clip(np.searchsorted(xs, x0, side="right") - 1, 0, nx - 1)
+        i1 = np.clip(np.searchsorted(xs, x1, side="left") - 1, 0, nx - 1)
+        j0 = np.clip(np.searchsorted(ys, y0, side="right") - 1, 0, ny - 1)
+        j1 = np.clip(np.searchsorted(ys, y1, side="left") - 1, 0, ny - 1)
+        left_part = xs[i0] < x0  # column i0 only partially covered
+        right_part = xs[i1 + 1] > x1
+        bot_part = ys[j0] < y0
+        top_part = ys[j1 + 1] > y1
+        # When the box lives in a single partial column, the left strip
+        # already spans the whole x-overlap; ditto single partial row.
+        right_act = right_part & ~((i1 == i0) & left_part)
+        top_act = top_part & ~((j1 == j0) & bot_part)
+        # Interior (whole-cell) ranges [ia, ib) x [ja, jb).
+        ia = i0 + left_part
+        ib = i1 + 1 - right_part
+        ja = j0 + bot_part
+        jb = j1 + 1 - top_part
+        core_x = ib > ia
+        core_y = jb > ja
+        core = np.where(
+            core_x & core_y,
+            area_pref[ib, jb] - area_pref[ia, jb] - area_pref[ib, ja] + area_pref[ia, ja],
+            0,
+        )
+        # Partial-column overlap widths / partial-row overlap heights.
+        ox_l = np.minimum(x1, xs[i0 + 1]) - x0
+        ox_r = x1 - np.maximum(x0, xs[i1])
+        oy_b = np.minimum(y1, ys[j0 + 1]) - y0
+        oy_t = y1 - np.maximum(y0, ys[j1])
+        left = np.where(left_part & core_y, ox_l * (col_pref[i0, jb] - col_pref[i0, ja]), 0)
+        right = np.where(right_act & core_y, ox_r * (col_pref[i1, jb] - col_pref[i1, ja]), 0)
+        bottom = np.where(bot_part & core_x, oy_b * (row_pref[ib, j0] - row_pref[ia, j0]), 0)
+        top = np.where(top_act & core_x, oy_t * (row_pref[ib, j1] - row_pref[ia, j1]), 0)
+        corners = (
+            np.where(left_part & bot_part, c[i0, j0] * ox_l * oy_b, 0)
+            + np.where(left_part & top_act, c[i0, j1] * ox_l * oy_t, 0)
+            + np.where(right_act & bot_part, c[i1, j0] * ox_r * oy_b, 0)
+            + np.where(right_act & top_act, c[i1, j1] * ox_r * oy_t, 0)
+        )
+        total = core + left + right + bottom + top + corners
+        result: IntArray = np.where(valid, total, 0).astype(_I64)
+        return result
+
+    # ------------------------------------------------------------------
+    def free_rects_in(self, i_lo: int, i_hi: int, j_lo: int, j_hi: int) -> List[Rect]:
+        """Canonical maximal rects of the *uncovered* cells in a block.
+
+        The block is the cell-index range ``[i_lo, i_hi) x
+        [j_lo, j_hi)`` (e.g. one window's inner region, whose
+        boundaries must be raster edges).  The construction — maximal
+        horizontal runs per cell row, then merging vertically adjacent
+        runs with identical x-spans — reproduces exactly the canonical
+        form produced by the scanline oracle
+        (:func:`repro.geometry.boolean.rect_set_subtract`), which is
+        invariant under refinement of the slab edges.  Rects are
+        returned sorted by ``(xl, yl, xh, yh)``.
+        """
+        free = ~self.occupancy()[i_lo:i_hi, j_lo:j_hi]
+        s, e, r0, r1 = merge_mask_runs(free)
+        xs, ys = self.xs, self.ys
+        rects = [
+            Rect(
+                int(xs[i_lo + a]),
+                int(ys[j_lo + b]),
+                int(xs[i_lo + c]),
+                int(ys[j_lo + d]),
+            )
+            for a, b, c, d in zip(s, r0, e, r1)
+        ]
+        rects.sort()
+        return rects
+
+
+def merge_mask_runs(mask: BoolArray) -> Tuple[IntArray, IntArray, IntArray, IntArray]:
+    """Maximal-run extraction + vertical merge over a boolean cell mask.
+
+    ``mask[i, j]`` is True where cell ``(i, j)`` (column ``i``, row
+    ``j``) belongs to the region.  Returns ``(i0, i1, j0, j1)`` cell
+    index arrays of the canonical disjoint rectangles: maximal
+    horizontal runs per row, vertically merged whenever consecutive
+    rows carry an identical x-span — the same canonical form the
+    scanline boolean's vertical merge produces.  Order is unspecified;
+    callers sort the materialized rects.
+    """
+    empty: IntArray = np.zeros(0, dtype=_I64)
+    if mask.size == 0 or not bool(mask.any()):
+        return empty, empty, empty, empty
+    rows = mask.T.astype(np.int8)  # (ny, nx): runs go along axis 1
+    ny, nx = rows.shape
+    padded: np.ndarray[Any, np.dtype[np.int8]] = np.zeros((ny, nx + 2), dtype=np.int8)
+    padded[:, 1:-1] = rows
+    d = np.diff(padded, axis=1)
+    run_row, run_start = np.nonzero(d == 1)
+    _, run_end = np.nonzero(d == -1)
+    # np.nonzero is row-major, so starts and ends pair up elementwise
+    # per row; run k spans columns [run_start[k], run_end[k]).
+    order = np.lexsort((run_row, run_end, run_start))
+    s = run_start[order].astype(_I64)
+    e = run_end[order].astype(_I64)
+    r = run_row[order].astype(_I64)
+    new_group = np.ones(len(s), dtype=bool)
+    if len(s) > 1:
+        new_group[1:] = (s[1:] != s[:-1]) | (e[1:] != e[:-1]) | (r[1:] != r[:-1] + 1)
+    firsts = np.flatnonzero(new_group)
+    lasts = np.append(firsts[1:], len(s)) - 1
+    return s[firsts], e[firsts], r[firsts], r[lasts] + 1

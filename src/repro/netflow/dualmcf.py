@@ -29,7 +29,8 @@ uncapacitated cycle in the flow network and is reported as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from .graph import (
@@ -167,17 +168,25 @@ def solve_dual_mcf(
     if lp.num_variables == 0:
         return DualMcfSolution(x=[], objective=0, flow_cost=0)
     if decompose:
-        components = _components(lp)
+        split = _component_split(lp)
         obs.metrics.counter("netflow.dual_mcf.solves").inc()
-        obs.metrics.histogram("netflow.dual_mcf.components").observe(
-            len(components)
-        )
-        if len(components) > 1:
+        obs.metrics.histogram("netflow.dual_mcf.components").observe(len(split))
+        if len(split) > 1:
             x: List[int] = [0] * lp.num_variables
             total_obj = 0
             total_cost = 0
-            for members in components:
-                sub, back = _sub_lp(lp, members)
+            fast = solver == "ssp"
+            for members, cons in split:
+                if fast:
+                    fx = _solve_small(lp, members, cons)
+                    if fx is not None:
+                        for v, value in zip(members, fx):
+                            x[v] = value
+                            part = lp.costs[v] * value
+                            total_obj += part
+                            total_cost -= part
+                        continue
+                sub, back = _sub_lp(lp, members, cons)
                 sol = solve_dual_mcf(sub, solver, decompose=False)
                 for local, value in enumerate(sol.x):
                     x[back[local]] = value
@@ -225,7 +234,31 @@ def solve_dual_mcf(
 
 def _components(lp: DifferentialLP) -> List[List[int]]:
     """Connected components of the constraint graph (union-find)."""
-    parent = list(range(lp.num_variables))
+    return [members for members, _ in _component_split(lp)]
+
+
+def _component_split(
+    lp: DifferentialLP,
+) -> List[Tuple[List[int], List[Tuple[int, int, int]]]]:
+    """Connected components plus each component's own constraints.
+
+    One pass over the constraint list buckets every constraint by its
+    component root, so restricting the LP to a component no longer
+    rescans all constraints (which made decomposition quadratic in the
+    constraint count).  Bucket order preserves the original constraint
+    order, keeping the sub-LPs identical to a filtered scan.
+    """
+    n = lp.num_variables
+    cons = lp.constraints
+    # The dominant sizing-pass shape: only the per-fill width
+    # constraints (x_hi - x_lo over consecutive variable pairs), no
+    # cross-fill spacing links.  The components are then exactly the
+    # variable pairs in order — union-find would derive the same split.
+    if 2 * len(cons) == n and all(
+        c[0] == 2 * k + 1 and c[1] == 2 * k for k, c in enumerate(cons)
+    ):
+        return [([2 * k, 2 * k + 1], [c]) for k, c in enumerate(cons)]
+    parent = list(range(n))
 
     def find(a: int) -> int:
         while parent[a] != a:
@@ -240,22 +273,219 @@ def _components(lp: DifferentialLP) -> List[List[int]]:
     groups: Dict[int, List[int]] = {}
     for v in range(lp.num_variables):
         groups.setdefault(find(v), []).append(v)
-    return list(groups.values())
+    buckets: Dict[int, List[Tuple[int, int, int]]] = {r: [] for r in groups}
+    for con in lp.constraints:
+        buckets[find(con[0])].append(con)
+    return [(members, buckets[root]) for root, members in groups.items()]
 
 
 def _sub_lp(
-    lp: DifferentialLP, members: List[int]
+    lp: DifferentialLP,
+    members: List[int],
+    cons: List[Tuple[int, int, int]],
 ) -> Tuple[DifferentialLP, List[int]]:
-    """Restrict ``lp`` to a variable subset; returns (sub-LP, index map)."""
+    """Restrict ``lp`` to one component; returns (sub-LP, index map)."""
     local = {v: k for k, v in enumerate(members)}
     sub = DifferentialLP(
         costs=[lp.costs[v] for v in members],
         lowers=[lp.lowers[v] for v in members],
         uppers=[lp.uppers[v] for v in members],
-        constraints=[
-            (local[i], local[j], b)
-            for i, j, b in lp.constraints
-            if i in local
-        ],
+        constraints=[(local[i], local[j], b) for i, j, b in cons],
     )
     return sub, members
+
+
+# ----------------------------------------------------------------------
+# fast paths for the dominant component shapes of the sizing LPs
+# ----------------------------------------------------------------------
+# A fill-sizing pass decomposes into thousands of tiny components: one
+# isolated variable, or the (x_lo, x_hi) pair of a single fill coupled
+# only by its width constraint x_hi - x_lo >= w.  Solving each through
+# the generic route — build a sub-LP, transform to a FlowNetwork, run
+# the general SSP engine — spends almost all of its time constructing
+# objects for a 3-node, 5-arc network whose solve trajectory is fixed.
+# `_solve_pair` below IS that trajectory: the successive-shortest-path
+# algorithm of :mod:`repro.netflow.ssp` hand-unrolled onto the fixed
+# topology, replicating its arc order, Bellman-Ford sweep order,
+# Dijkstra tie-breaks (min ``(dist, node)``) and potential updates, so
+# the returned x is identical to the generic path bit for bit — not
+# merely another optimum of the same LP.  The residual arc layout
+# (index = 2*arc for forward, 2*arc+1 for backward, `e ^ 1` pairing):
+#
+#   arc 0: y2 -> y1  cost -w   (the width constraint x1 - x0 >= w)
+#   arc 1: y1 -> y0  cost -l0  |  arc 2: y0 -> y1  cost u0   (x0 box)
+#   arc 3: y2 -> y0  cost -l1  |  arc 4: y0 -> y2  cost u1   (x1 box)
+#
+# Supplies are (-(a+b), a, b); every forward arc starts with the same
+# finite stand-in capacity ``max(1, positive supply)`` the generic
+# path derives in ``FlowNetwork.finite_capacities``.
+_PAIR_HEAD = (1, 2, 0, 1, 1, 0, 0, 2, 2, 0)
+_PAIR_TAIL = (2, 1, 1, 0, 0, 1, 2, 0, 0, 2)
+_PAIR_ADJ = ((3, 4, 7, 8), (1, 2, 5), (0, 6, 9))
+_INFEASIBLE_CYCLE_MSG = (
+    "differential constraint system is infeasible: negative-cost cycle: "
+    "the min-cost flow is unbounded "
+    "(the corresponding differential LP is infeasible)"
+)
+
+
+@lru_cache(maxsize=1 << 16)
+def _solve_pair(
+    a: int, b: int, l0: int, u0: int, l1: int, u1: int, w: int
+) -> Tuple[int, int]:
+    """min a*x0 + b*x1 s.t. x1 - x0 >= w, boxes — exact SSP emulation."""
+    if u1 < l0 + w:
+        # The only possible negative cycle of the pair network:
+        # y0 -> y2 -> y1 -> y0 with cost u1 - w - l0.
+        raise LPInfeasibleError(_INFEASIBLE_CYCLE_MSG)
+    s0 = -(a + b)
+    pos = (s0 if s0 > 0 else 0) + (a if a > 0 else 0) + (b if b > 0 else 0)
+    cap_bound = pos if pos > 1 else 1
+    cost = (-w, w, -l0, l0, u0, -u0, -l1, l1, u1, -u1)
+    caps = [cap_bound, 0, cap_bound, 0, cap_bound, 0, cap_bound, 0, cap_bound, 0]
+
+    # Bellman-Ford initial potentials: only forward arcs carry residual
+    # capacity here, relaxed in the generic sweep order (adj of node 0,
+    # then 1, then 2).  Convergence is guaranteed by the feasibility
+    # check above, within the generic engine's n + 1 = 4 rounds.
+    p0 = p1 = p2 = 0
+    for _ in range(4):
+        changed = False
+        nd = p0 + u0  # arc 0 -> 1
+        if nd < p1:
+            p1 = nd
+            changed = True
+        nd = p0 + u1  # arc 0 -> 2
+        if nd < p2:
+            p2 = nd
+            changed = True
+        nd = p1 - l0  # arc 1 -> 0
+        if nd < p0:
+            p0 = nd
+            changed = True
+        nd = p2 - w  # arc 2 -> 1
+        if nd < p1:
+            p1 = nd
+            changed = True
+        nd = p2 - l1  # arc 2 -> 0
+        if nd < p0:
+            p0 = nd
+            changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - excluded by the feasibility precheck
+        raise LPInfeasibleError(_INFEASIBLE_CYCLE_MSG)
+
+    pi = [p0, p1, p2]
+    excess = [s0, a, b]
+    inf = float("inf")
+    while True:
+        source = -1
+        for u in (0, 1, 2):
+            if excess[u] > 0:
+                source = u
+                break
+        if source < 0:
+            break
+        # Dijkstra on reduced costs, settling in (dist, node) order —
+        # the heap pop order of the generic engine — with early exit
+        # at the first settled deficit node.
+        dist: List[float] = [inf, inf, inf]
+        prev = [-1, -1, -1]
+        settled = [False, False, False]
+        dist[source] = 0
+        target = -1
+        dt = 0
+        while True:
+            u = -1
+            best = inf
+            for v in (0, 1, 2):
+                if not settled[v] and dist[v] < best:
+                    best = dist[v]
+                    u = v
+            if u < 0:
+                break
+            settled[u] = True
+            if excess[u] < 0:
+                target = u
+                dt = int(dist[u])
+                break
+            du = dist[u] + pi[u]
+            for e in _PAIR_ADJ[u]:
+                if caps[e] <= 0:
+                    continue
+                h = _PAIR_HEAD[e]
+                if settled[h]:
+                    continue
+                nd = du + cost[e] - pi[h]
+                if nd < dist[h]:
+                    dist[h] = nd
+                    prev[h] = e
+        if target < 0:  # pragma: no cover - pair network is connected
+            raise LPInfeasibleError(
+                "differential constraint system is infeasible: "
+                "an excess node cannot reach any deficit node"
+            )
+        for u in (0, 1, 2):
+            d = dist[u]
+            pi[u] += int(d) if d < dt else dt
+        push = min(excess[source], -excess[target])
+        v = target
+        while v != source:
+            e = prev[v]
+            if caps[e] < push:
+                push = caps[e]
+            v = _PAIR_TAIL[e]
+        v = target
+        while v != source:
+            e = prev[v]
+            caps[e] -= push
+            caps[e ^ 1] += push
+            v = _PAIR_TAIL[e]
+        excess[source] -= push
+        excess[target] += push
+    return pi[1] - pi[0], pi[2] - pi[0]
+
+
+def _solve_single(c: int, lower: int, upper: int) -> int:
+    """One unconstrained boxed variable, as the SSP potentials pick it.
+
+    The two-node network routes the whole supply over the lower-bound
+    arc (``c > 0``), the upper-bound arc (``c < 0``), or not at all —
+    with zero cost the Bellman-Ford potentials alone fix x at 0 clamped
+    into the box.
+    """
+    if c > 0:
+        return lower
+    if c < 0:
+        return upper
+    if upper < 0:
+        return upper
+    if lower > 0:
+        return lower
+    return 0
+
+
+def _solve_small(
+    lp: DifferentialLP,
+    members: List[int],
+    cons: List[Tuple[int, int, int]],
+) -> Optional[Tuple[int, ...]]:
+    """Dispatch a component to a fast path, or None for the generic route."""
+    if len(members) == 1 and not cons:
+        v = members[0]
+        return (_solve_single(lp.costs[v], lp.lowers[v], lp.uppers[v]),)
+    if len(members) == 2 and len(cons) == 1:
+        lo_v, hi_v = members
+        i, j, b = cons[0]
+        if i == hi_v and j == lo_v:
+            return _solve_pair(
+                lp.costs[lo_v],
+                lp.costs[hi_v],
+                lp.lowers[lo_v],
+                lp.uppers[lo_v],
+                lp.lowers[hi_v],
+                lp.uppers[hi_v],
+                b,
+            )
+    return None

@@ -912,3 +912,128 @@ class TestRep014:
     def test_noqa_suppresses(self):
         src = 'print("debug")  # repro: noqa[REP014]\n'
         assert run("REP014", src, "src/repro/core/engine.py") == []
+
+
+# ----------------------------------------------------------------------
+# REP015 — per-window Python loops in the density layer
+# ----------------------------------------------------------------------
+
+
+class TestRep015:
+    def test_nested_axis_sweep_accumulating(self):
+        src = (
+            "def metric(density, grid):\n"
+            "    total = 0.0\n"
+            "    for i in range(grid.cols):\n"
+            "        for j in range(grid.rows):\n"
+            "            total += float(density[i, j])\n"
+            "    return total\n"
+        )
+        findings = run("REP015", src, "src/repro/density/metrics.py")
+        assert [f.code for f in findings] == ["REP015"]
+        assert findings[0].severity is Severity.WARNING
+        assert "raster" in findings[0].message
+
+    def test_nested_sweep_appending(self):
+        src = (
+            "def worst(density, grid):\n"
+            "    out = []\n"
+            "    for i in range(grid.cols):\n"
+            "        for j in range(grid.rows):\n"
+            "            out.append(density[i, j])\n"
+            "    return out\n"
+        )
+        findings = run("REP015", src, "src/repro/density/scoring.py")
+        assert [f.code for f in findings] == ["REP015"]
+
+    def test_nested_sweep_subscript_store(self):
+        src = (
+            "def areas(grid, out):\n"
+            "    for i in range(grid.cols):\n"
+            "        for j in range(grid.rows):\n"
+            "            out[i, j] = grid.window_area(i, j)\n"
+        )
+        findings = run("REP015", src, "src/repro/density/metrics.py")
+        assert [f.code for f in findings] == ["REP015"]
+
+    def test_window_protocol_iteration_using_rect(self):
+        src = (
+            "def scan(index, grid):\n"
+            "    out = []\n"
+            "    for i, j, win in grid:\n"
+            "        out.append(index.query(win))\n"
+            "    return out\n"
+        )
+        findings = run("REP015", src, "src/repro/density/multiwindow.py")
+        assert [f.code for f in findings] == ["REP015"]
+        assert "window-by-window" in findings[0].message
+
+    def test_windows_method_iteration(self):
+        src = (
+            "def scan(grid):\n"
+            "    for win in grid.windows():\n"
+            "        yield win.area\n"
+        )
+        findings = run("REP015", src, "src/repro/density/metrics.py")
+        assert [f.code for f in findings] == ["REP015"]
+
+    def test_key_enumeration_clean(self):
+        # Enumerating (i, j) keys without touching the window rect is
+        # bookkeeping, not per-window geometry.
+        src = (
+            "def keys(grid):\n"
+            "    out = []\n"
+            "    for i, j, _ in grid:\n"
+            "        out.append((i, j))\n"
+            "    return out\n"
+        )
+        assert run("REP015", src, "src/repro/density/raster.py") == []
+
+    def test_strip_loop_clean(self):
+        # One loop per window-*column* feeding an array slice is the
+        # raster kernel's own shape.
+        src = (
+            "def area_map(grid, ras, y_cuts, out):\n"
+            "    for i in range(grid.cols):\n"
+            "        out[i, :] = ras.covered_window_areas([i], y_cuts)[0]\n"
+        )
+        assert run("REP015", src, "src/repro/density/raster.py") == []
+
+    def test_oracle_module_exempt(self):
+        src = (
+            "def analyze(index, grid):\n"
+            "    out = []\n"
+            "    for i, j, win in grid:\n"
+            "        out.append(index.query(win))\n"
+            "    return out\n"
+        )
+        assert run("REP015", src, "src/repro/density/analysis.py") == []
+
+    def test_outside_density_exempt(self):
+        src = (
+            "def scan(index, grid):\n"
+            "    out = []\n"
+            "    for i, j, win in grid:\n"
+            "        out.append(index.query(win))\n"
+            "    return out\n"
+        )
+        assert run("REP015", src, "src/repro/core/candidates.py") == []
+
+    def test_noqa_waives(self):
+        src = (
+            "def worst(density, grid):\n"
+            "    out = []\n"
+            "    for i in range(grid.cols):  # repro: noqa[REP015]\n"
+            "        for j in range(grid.rows):\n"
+            "            out.append(density[i, j])\n"
+            "    return out\n"
+        )
+        from repro.check.rules import select_rules
+        from repro.check.runner import analyze_source
+
+        result = analyze_source(
+            src, "src/repro/density/scoring.py", rules=select_rules(["REP015"])
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+        assert result.suppressed_by_code == {"REP015": 1}

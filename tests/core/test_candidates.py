@@ -200,3 +200,59 @@ class TestAlg1:
         c1, _, _ = run_generation(layout1, grid1)
         c2, _, _ = run_generation(layout2, grid2)
         assert c1 == c2
+
+
+class TestLargestClipPiece:
+    """`_largest_clip_piece` vs the canonical-sweep oracle.
+
+    The routine replaces ``max(rect_set_intersect(touching, [tile]))``
+    in `_best_piece`; the canonical decomposition is a geometric
+    invariant, so both must pick the *same* rectangle — same key
+    ``(area, xl, yl)``, same coordinates — for any clip set.
+    """
+
+    @staticmethod
+    def _oracle(clips, tile):
+        from repro.geometry import rect_set_intersect
+
+        pieces = rect_set_intersect(clips, [tile])
+        return max(pieces, key=lambda r: (r.area, r.xl, r.yl))
+
+    @pytest.mark.parametrize("seed", [5, 19, 73, 311])
+    def test_matches_sweep_on_random_clip_sets(self, seed):
+        import random
+
+        from repro.core.candidates import _largest_clip_piece
+
+        rng = random.Random(seed)
+        tile = Rect(0, 0, 120, 120)
+        for _ in range(300):
+            clips = []
+            for _ in range(rng.randrange(2, 7)):
+                x = rng.randrange(0, 110)
+                y = rng.randrange(0, 110)
+                r = Rect(
+                    x, y,
+                    min(120, x + rng.randrange(5, 80)),
+                    min(120, y + rng.randrange(5, 80)),
+                )
+                clips.append(r.intersection(tile))
+            assert _largest_clip_piece(clips) == self._oracle(clips, tile), clips
+
+    def test_tie_breaks_on_position(self):
+        from repro.core.candidates import _largest_clip_piece
+
+        # Two disjoint equal-area pieces: the (area, xl, yl) key must
+        # pick the same one the sweep's max() picks.
+        clips = [Rect(0, 0, 30, 30), Rect(60, 60, 90, 90)]
+        tile = Rect(0, 0, 120, 120)
+        assert _largest_clip_piece(clips) == self._oracle(clips, tile)
+
+    def test_abutting_spans_merge_into_one_piece(self):
+        from repro.core.candidates import _largest_clip_piece
+
+        # Two clips sharing an edge form one canonical rect — the
+        # interval normalisation must merge abutting spans, not just
+        # overlapping ones.
+        clips = [Rect(0, 0, 50, 40), Rect(50, 0, 100, 40)]
+        assert _largest_clip_piece(clips) == Rect(0, 0, 100, 40)

@@ -1,0 +1,226 @@
+"""Raster kernel vs rect oracle: exact-equality property tests.
+
+The raster kernel (``FillConfig.kernel = "raster"``) promises *bit
+identity* with the rect-set scanline path, not approximation — the CI
+``kernel-parity`` job ``cmp``'s whole GDSII files, and these tests pin
+the same contract at the function level on randomized layouts:
+density maps, l/u bounds, fill regions, usable areas, overlay maps and
+the incremental refresh must all match the oracle exactly
+(``np.array_equal``, no tolerances).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.density.analysis import (
+    analyze_layer,
+    analyze_layout,
+    compute_fill_regions,
+    fill_density_map,
+    metal_density_map,
+    overlay_map,
+    refresh_analysis,
+    usable_fill_area,
+    wire_density_map,
+)
+from repro.density.raster import (
+    raster_analyze_layer,
+    raster_fill_regions,
+    raster_overlay_map,
+    window_cuts,
+)
+from repro.geometry import Rect
+from repro.layout import DrcRules, Layout, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10, min_width=10, min_area=200, max_fill_width=100, max_fill_height=100
+)
+
+SEEDS = [3, 17, 91, 404]
+
+
+def random_layout(seed, *, die=1100, layers=3, wires=60, fills=25, odd=False):
+    """A randomized multi-layer layout with deliberately uneven shapes.
+
+    ``odd=True`` makes the die dimension indivisible by the grid so the
+    last window column/row absorbs the remainder — the case where a
+    sloppy cut-line computation would diverge from ``WindowGrid``.
+    """
+    rng = random.Random(seed)
+    if odd:
+        die += 7  # prime-ish remainder: last window is wider/taller
+    layout = Layout(Rect(0, 0, die, die), num_layers=layers, rules=RULES)
+    for n in layout.layer_numbers:
+        if n == layers:  # keep the top layer empty on purpose
+            continue
+        for _ in range(wires):
+            x = rng.randrange(0, die - 101)
+            y = rng.randrange(0, die - 101)
+            w = rng.randrange(1, 100)  # odd widths/heights included
+            h = rng.randrange(1, 100)
+            layout.layer(n).add_wire(Rect(x, y, x + w, y + h))
+        for _ in range(fills):
+            x = rng.randrange(0, die - 101)
+            y = rng.randrange(0, die - 101)
+            w = rng.randrange(10, 100)
+            h = rng.randrange(10, 100)
+            layout.layer(n).add_fill(Rect(x, y, x + w, y + h))
+    grid = WindowGrid(layout.die, 4, 4)
+    return layout, grid
+
+
+class TestWindowCuts:
+    @pytest.mark.parametrize("odd", [False, True])
+    def test_cuts_match_window_grid(self, odd):
+        layout, grid = random_layout(1, odd=odd)
+        xs, ys = window_cuts(grid)
+        for i in range(grid.cols):
+            for j in range(grid.rows):
+                win = grid.window(i, j)
+                assert (xs[i], ys[j], xs[i + 1], ys[j + 1]) == (
+                    win.xl,
+                    win.yl,
+                    win.xh,
+                    win.yh,
+                )
+
+
+class TestDensityMapParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("odd", [False, True])
+    def test_maps_bit_identical(self, seed, odd):
+        layout, grid = random_layout(seed, odd=odd)
+        for n in layout.layer_numbers:
+            layer = layout.layer(n)
+            for fn in (wire_density_map, fill_density_map, metal_density_map):
+                rect = fn(layer, grid, kernel="rect")
+                ras = fn(layer, grid, kernel="raster")
+                assert np.array_equal(rect, ras), (fn.__name__, n)
+
+    def test_empty_layer_zero(self):
+        layout, grid = random_layout(2)
+        top = layout.layer(max(layout.layer_numbers))
+        assert not top.wires and not top.fills
+        assert np.all(metal_density_map(top, grid, kernel="raster") == 0.0)
+
+
+class TestAnalyzeParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("margin", [0, 7])
+    def test_layer_bounds_and_regions(self, seed, margin):
+        layout, grid = random_layout(seed, odd=bool(seed % 2))
+        for n in layout.layer_numbers:
+            oracle = analyze_layer(
+                layout.layer(n), grid, RULES, window_margin=margin
+            )
+            got = raster_analyze_layer(
+                layout.layer(n), grid, RULES, window_margin=margin
+            )
+            assert np.array_equal(oracle.lower, got.lower)
+            assert np.array_equal(oracle.upper, got.upper)
+            assert oracle.fill_regions == got.fill_regions
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_analyze_layout_kernel_switch(self, seed):
+        layout, grid = random_layout(seed)
+        rect = analyze_layout(layout, grid, window_margin=5, kernel="rect")
+        ras = analyze_layout(layout, grid, window_margin=5, kernel="raster")
+        assert sorted(rect) == sorted(ras)
+        for n in rect:
+            assert np.array_equal(rect[n].lower, ras[n].lower)
+            assert np.array_equal(rect[n].upper, ras[n].upper)
+            assert rect[n].fill_regions == ras[n].fill_regions
+
+
+class TestFillRegionParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_regions_canonical_identical(self, seed):
+        layout, grid = random_layout(seed, odd=True)
+        layer = layout.layer(1)
+        oracle = compute_fill_regions(layer, grid, RULES, window_margin=3)
+        got = raster_fill_regions(layer, grid, RULES, window_margin=3)
+        # Not just equal areas: the same canonical rect lists in the
+        # same order, so candidate tiling downstream is identical.
+        assert oracle == got
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_usable_area_identical(self, seed):
+        layout, grid = random_layout(seed)
+        layer = layout.layer(2)
+        oracle = compute_fill_regions(layer, grid, RULES)
+        got = raster_fill_regions(layer, grid, RULES)
+        for key in oracle:
+            assert usable_fill_area(oracle[key], RULES) == usable_fill_area(
+                got[key], RULES
+            )
+
+    def test_margin_larger_than_window_empties_regions(self):
+        layout, grid = random_layout(5, die=400)
+        # 4x4 over 400 -> 100-dbu windows; a 60-dbu margin leaves
+        # nothing (shrunk() underflows to None).
+        got = raster_fill_regions(layout.layer(1), grid, RULES, window_margin=60)
+        oracle = compute_fill_regions(
+            layout.layer(1), grid, RULES, window_margin=60
+        )
+        assert oracle == got
+        assert all(v == [] for v in got.values())
+
+
+class TestOverlayParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("odd", [False, True])
+    def test_overlay_map_bit_identical(self, seed, odd):
+        layout, grid = random_layout(seed, odd=odd)
+        numbers = layout.layer_numbers
+        for lo, hi in zip(numbers, numbers[1:]):
+            rect = overlay_map(
+                layout.layer(lo), layout.layer(hi), grid, kernel="rect"
+            )
+            ras = raster_overlay_map(layout.layer(lo), layout.layer(hi), grid)
+            assert np.array_equal(rect, ras), (lo, hi)
+
+    def test_empty_side_zero(self):
+        layout, grid = random_layout(7)
+        top = max(layout.layer_numbers)
+        out = raster_overlay_map(layout.layer(top - 1), layout.layer(top), grid)
+        oracle = overlay_map(
+            layout.layer(top - 1), layout.layer(top), grid, kernel="rect"
+        )
+        assert np.array_equal(out, oracle)
+
+
+class TestRefreshParity:
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_incremental_refresh_matches_fresh_analysis(self, seed):
+        layout, grid = random_layout(seed, odd=True)
+        margin = 5
+        cached = analyze_layout(
+            layout, grid, window_margin=margin, kernel="raster"
+        )
+        rng = random.Random(seed + 1)
+        x = rng.randrange(0, layout.die.xh - 200)
+        y = rng.randrange(0, layout.die.yh - 200)
+        layout.layer(1).add_wire(Rect(x, y, x + 150, y + 40))
+        dirty = sorted(grid.windows_touching(Rect(x, y, x + 150, y + 40).expanded(20)))
+        refreshed = refresh_analysis(
+            layout,
+            grid,
+            cached,
+            dirty,
+            layers=[1],
+            window_margin=margin,
+            kernel="raster",
+        )
+        fresh = analyze_layout(
+            layout, grid, window_margin=margin, kernel="rect"
+        )
+        got = refreshed[1]
+        expect = fresh[1]
+        for i, j in dirty:
+            assert got.lower[i, j] == expect.lower[i, j]
+            assert got.upper[i, j] == expect.upper[i, j]
+            assert got.fill_regions[(i, j)] == expect.fill_regions[(i, j)]
+        # untouched layers carried over by identity
+        assert refreshed[2] is cached[2]

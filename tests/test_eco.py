@@ -287,3 +287,41 @@ class TestWiresFromJson:
         from repro.eco import wires_from_json
 
         assert wires_from_json({}) == {}
+
+
+class TestRefreshMetrics:
+    """`analysis.refreshed_windows` counts dirtied windows once per
+    refresh — however many layers re-read them (the per-layer fan-out
+    is `analysis.refreshed_layers`)."""
+
+    @staticmethod
+    def _counters(record):
+        totals = {}
+        for span in record.spans:
+            for name, value in span.get("counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def test_multi_layer_eco_counts_windows_once(self):
+        from repro import obs
+
+        config = FillConfig()
+        layout, grid = filled_layout()
+        analysis, wire_indexes = TestCachedEco._caches(layout, grid, config)
+        change = {1: [Rect(700, 700, 800, 760)], 2: [Rect(100, 700, 200, 760)]}
+        with obs.record_run(label="eco metrics") as rec:
+            report = apply_eco(
+                layout,
+                grid,
+                change,
+                config,
+                analysis=analysis,
+                wire_indexes=wire_indexes,
+            )
+        totals = self._counters(rec.record)
+        affected = len(report.affected_windows)
+        assert affected > 0
+        # Both layers changed, so both re-read the dirtied windows —
+        # but the window count must not be doubled by the fan-out.
+        assert totals["analysis.refreshed_windows"] == affected
+        assert totals["analysis.refreshed_layers"] == 2
