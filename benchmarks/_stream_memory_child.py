@@ -1,0 +1,66 @@
+"""Subprocess worker for ``bench_stream_memory.py``.
+
+Each measurement must run in a fresh interpreter: CPython's allocator
+keeps its high-water mark, so running the in-memory and streamed fill
+in the same process would let the first run's peak mask the second's.
+The parent invokes this script once per (mode, die) cell; the peak RSS
+lands in the ``--trace-out`` run record and the streaming band count is
+printed as a JSON line on stdout.
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.layout import DrcRules, WindowGrid
+
+RULES = DrcRules(
+    min_spacing=10,
+    min_width=10,
+    min_area=400,
+    max_fill_width=150,
+    max_fill_height=150,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("input")
+    parser.add_argument("output")
+    parser.add_argument("--mode", choices=("inmem", "stream"), required=True)
+    parser.add_argument("--cols", type=int, required=True)
+    parser.add_argument("--rows", type=int, required=True)
+    parser.add_argument("--budget", type=int, default=None)
+    parser.add_argument("--trace-out", required=True)
+    args = parser.parse_args()
+
+    bands = 0
+    with obs.record_run(args.trace_out, label=f"stream-memory {args.mode}"):
+        if args.mode == "stream":
+            from repro.core import stream_fill
+
+            report = stream_fill(
+                args.input,
+                args.output,
+                RULES,
+                cols=args.cols,
+                rows=args.rows,
+                memory_budget=args.budget,
+            )
+            bands = report.bands
+        else:
+            from repro.core import DummyFillEngine, FillConfig
+            from repro.gdsii import gdsii_bytes, layout_from_gdsii
+
+            layout = layout_from_gdsii(Path(args.input).read_bytes(), RULES)
+            grid = WindowGrid(layout.die, args.cols, args.rows)
+            DummyFillEngine(FillConfig()).run(layout, grid)
+            with obs.span("io.write"):
+                Path(args.output).write_bytes(gdsii_bytes(layout))
+    print(json.dumps({"mode": args.mode, "bands": bands}))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ schema and the CI workflow.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import re
 import time
@@ -44,9 +45,9 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .. import obs
-from ..core import DummyFillEngine, FillConfig
+from ..core import DummyFillEngine, FillConfig, stream_fill
 from ..density.scoring import score_layout, worst_windows
-from ..gdsii import file_size_mb, gdsii_bytes
+from ..gdsii import file_size_mb, gdsii_bytes, layout_from_gdsii
 from ..layout import Layout, WindowGrid
 from ..obs.record import _git_sha
 from .generator import LayoutSpec, generate_layout
@@ -162,10 +163,12 @@ _SMOKE_SPEC = LayoutSpec(
 )
 _SMOKE_WINDOWS = (4, 4)
 _SMOKE_BETAS = (60.0, 1024.0)
+#: bands for the streaming smoke case — >1 so the spill path is exercised
+_STREAM_SMOKE_BANDS = 2
 
 #: named benchmark sets `repro bench run --set <name>` executes
 BENCH_SETS: Dict[str, Tuple[str, ...]] = {
-    "smoke": ("smoke",),
+    "smoke": ("smoke", "stream-smoke"),
     "s": ("s",),
     "suite": ("s", "b"),
     "full": ("s", "b", "m"),
@@ -203,9 +206,11 @@ def run_benchmark(
     """
     from .contest import CONTEST_ETA
 
-    layout, grid, weights = _load_case(name)
     if config is None:
         config = FillConfig(eta=CONTEST_ETA)
+    if name == "stream-smoke":
+        return _run_stream_benchmark(config=config, worst_k=worst_k)
+    layout, grid, weights = _load_case(name)
     with obs.record_run(label=f"bench {name}") as recorder:
         DummyFillEngine(config, weights=weights).run(layout, grid)
         with obs.span("io.write"):
@@ -242,6 +247,74 @@ def run_benchmark(
         num_fills=layout.num_fills,
         gds_bytes=len(gds),
         worst_windows=worst_windows(layout, grid, k=worst_k),
+        label=record.label,
+    )
+
+
+def _run_stream_benchmark(
+    *, config: FillConfig, worst_k: int
+) -> BenchRecord:
+    """The ``stream-smoke`` case: the smoke layout through the
+    out-of-core :func:`repro.core.stream_fill` path.
+
+    Same geometry, grid and calibrated weights as ``smoke``, but the
+    unfilled layout is serialised to GDSII first and filled via the
+    banded streaming pipeline (bands > 1 so the spill path is
+    exercised), so the trajectory gates the streamed stage clocks and
+    peak RSS alongside the in-memory ones.  Scores are computed on the
+    re-parsed streamed output — byte-identical to the in-memory result
+    by construction, so quality metrics must match ``smoke`` exactly.
+    """
+    layout, grid, weights = _load_case("smoke")
+    raw = gdsii_bytes(layout)
+    rules = _SMOKE_SPEC.rules
+    with obs.record_run(label="bench stream-smoke") as recorder:
+        out = io.BytesIO()
+        stream_fill(
+            raw,
+            out,
+            rules,
+            cols=grid.cols,
+            rows=grid.rows,
+            config=config,
+            weights=weights,
+            bands=_STREAM_SMOKE_BANDS,
+        )
+    gds = out.getvalue()
+    record = recorder.record
+    assert record is not None
+    seconds = float(record.summary["seconds"])
+    peak = record.summary.get("peak_rss_mb")
+    peak_mb = float(peak) if peak is not None else 0.0
+    filled = layout_from_gdsii(gds, rules)
+    card = score_layout(
+        filled,
+        grid,
+        weights,
+        file_size=file_size_mb(len(gds)),
+        runtime=seconds,
+        memory=peak_mb,
+    )
+    config_dict: Dict[str, Any] = {
+        **asdict(config),
+        "windows": [grid.cols, grid.rows],
+        "bands": _STREAM_SMOKE_BANDS,
+        "bench": "stream-smoke",
+    }
+    return BenchRecord(
+        bench="stream-smoke",
+        git_sha=record.meta.get("git_sha"),
+        created_at=_utc_now(),
+        config=config_dict,
+        config_hash=_config_digest(config_dict),
+        scores=card.as_row(),
+        raw=asdict(card.raw),
+        stage_seconds=record.stage_seconds("stream.run"),
+        seconds=seconds,
+        peak_rss_mb=peak_mb,
+        num_fills=filled.num_fills,
+        gds_bytes=len(gds),
+        worst_windows=worst_windows(filled, grid, k=worst_k),
         label=record.label,
     )
 

@@ -109,6 +109,59 @@ def _config_from(args: argparse.Namespace) -> "FillConfig":
         parallel=args.parallel,
         sanitize=args.sanitize,
         kernel=args.kernel,
+        memory_budget=getattr(args, "memory_budget", None),
+    )
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (powers of 1024)."""
+    raw = text.strip().lower()
+    multiplier = 1
+    for suffix, value in (("k", 1024), ("m", 1024**2), ("g", 1024**3)):
+        if raw.endswith(suffix):
+            multiplier = value
+            raw = raw[: -len(suffix)]
+            break
+    try:
+        count = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 268435456, 256M, 1G)"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("size must be positive")
+    return count * multiplier
+
+
+def _add_stream_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("streaming")
+    group.add_argument(
+        "--stream",
+        action="store_true",
+        help="run out-of-core: stream the GDSII through per-band spill "
+        "files and fill one window-column band at a time (bounded "
+        "peak memory; output bytes identical to the in-memory path)",
+    )
+    group.add_argument(
+        "--memory-budget",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="byte budget for --stream, with optional K/M/G suffix "
+        "(default: 256M); sizes the number of bands",
+    )
+    group.add_argument(
+        "--bands",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explicit band count for --stream (overrides the budget)",
+    )
+    group.add_argument(
+        "--format",
+        choices=("gdsii", "oasis"),
+        default="gdsii",
+        help="output format (default: gdsii)",
     )
 
 
@@ -224,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         help="write a markdown run report to this path",
     )
+    _add_stream_args(fill)
     _add_rules_args(fill)
     _add_obs_args(fill)
     _add_profile_args(fill)
@@ -261,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     eco.add_argument("output", type=Path, help="patched GDSII path")
     eco.add_argument("--windows", type=int, default=8)
     _add_engine_args(eco)
+    _add_stream_args(eco)
     _add_rules_args(eco)
     _add_obs_args(eco)
     _add_profile_args(eco)
@@ -338,6 +393,28 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_fill(args: argparse.Namespace) -> int:
+    if args.stream:
+        if args.report is not None:
+            print("--report is not supported with --stream", file=sys.stderr)
+            return 2
+        with _observed(args, label="repro fill"):
+            report = DummyFillEngine(_config_from(args)).run_streaming(
+                str(args.input),
+                str(args.output),
+                _rules_from(args),
+                cols=args.windows,
+                rows=args.windows,
+                memory_budget=args.memory_budget,
+                bands=args.bands,
+                output_format=args.format,
+            )
+            print(report.summary())
+            print(
+                f"wrote {args.output}: {report.num_fills} fills, "
+                f"{args.output.stat().st_size} bytes, "
+                f"{len(report.violations)} DRC violations"
+            )
+        return 0 if not report.violations else 2
     with _observed(args, label="repro fill"):
         with obs.span("io.read"):
             layout = layout_from_gdsii(args.input.read_bytes(), _rules_from(args))
@@ -346,7 +423,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         with obs.span("drc"):
             violations = layout.check_drc()
         with obs.span("io.write"):
-            args.output.write_bytes(gdsii_bytes(layout))
+            args.output.write_bytes(_serialised(layout, args.format))
         print(report.summary())
         if args.report is not None:
             from .report import render_report
@@ -358,6 +435,14 @@ def _cmd_fill(args: argparse.Namespace) -> int:
             f"{args.output.stat().st_size} bytes, {len(violations)} DRC violations"
         )
     return 0 if not violations else 2
+
+
+def _serialised(layout: Layout, output_format: str) -> bytes:
+    if output_format == "oasis":
+        from .oasis import oasis_bytes
+
+        return oasis_bytes(layout)
+    return gdsii_bytes(layout)
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
@@ -395,6 +480,30 @@ def _cmd_drc(args: argparse.Namespace) -> int:
 
 
 def _cmd_eco(args: argparse.Namespace) -> int:
+    if args.stream:
+        from .eco import wires_from_json
+
+        new_wires = wires_from_json(json.loads(args.wires.read_text()))
+        with _observed(args, label="repro eco"):
+            report = DummyFillEngine(_config_from(args)).run_streaming(
+                str(args.input),
+                str(args.output),
+                _rules_from(args),
+                cols=args.windows,
+                rows=args.windows,
+                memory_budget=args.memory_budget,
+                bands=args.bands,
+                eco_wires=new_wires,
+                output_format=args.format,
+            )
+            print(report.summary())
+            print(
+                f"wrote {args.output}: kept {report.kept_fills} + "
+                f"{report.num_fills} new fills, "
+                f"{args.output.stat().st_size} bytes, "
+                f"{len(report.violations)} DRC violations"
+            )
+        return 0 if not report.violations else 2
     with _observed(args, label="repro eco"):
         from .eco import apply_eco, wires_from_json
 
@@ -406,7 +515,7 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         with obs.span("drc"):
             violations = layout.check_drc()
         with obs.span("io.write"):
-            args.output.write_bytes(gdsii_bytes(layout))
+            args.output.write_bytes(_serialised(layout, args.format))
         print(report.summary())
         print(
             f"wrote {args.output}: {layout.num_fills} fills, "

@@ -94,6 +94,12 @@ class FillConfig:
         GDSII — the raster kernel is exact, not an approximation — so
         this is purely a speed knob; the rect path stays as the oracle
         the CI kernel-parity gate compares against.
+    memory_budget:
+        Byte budget for the out-of-core streaming driver
+        (:func:`repro.core.stream.stream_fill`): the die is swept in
+        enough window-column bands that one band's estimated resident
+        geometry fits the budget.  ``None`` (the default) defers to
+        the driver's own default; the in-memory engine ignores it.
     """
 
     lambda_factor: float = 1.1
@@ -110,6 +116,7 @@ class FillConfig:
     parallel: str = "process"
     sanitize: Optional[bool] = None
     kernel: str = "rect"
+    memory_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.lambda_factor < 1.0:
@@ -134,6 +141,8 @@ class FillConfig:
             raise ValueError(f"parallel must be one of {_BACKENDS}")
         if self.kernel not in _KERNELS:
             raise ValueError(f"kernel must be one of {_KERNELS}")
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError("memory_budget must be a positive byte count")
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[str, Any]) -> "FillConfig":

@@ -207,6 +207,50 @@ class DummyFillEngine:
         )
 
     # ------------------------------------------------------------------
+    def run_streaming(
+        self,
+        source,
+        output,
+        rules,
+        *,
+        cols: int,
+        rows: int,
+        memory_budget: Optional[int] = None,
+        bands: Optional[int] = None,
+        eco_wires=None,
+        output_format: str = "gdsii",
+        include_wires: bool = True,
+        work_dir: Optional[str] = None,
+    ):
+        """Run the flow out-of-core on a GDSII stream (bounded memory).
+
+        The streaming counterpart of :meth:`run`: ``source`` is a
+        GDSII path/bytes/stream rather than a loaded layout, the die
+        is swept in window-column bands sized to ``memory_budget``
+        (or an explicit ``bands`` count), and the filled layout is
+        written straight to ``output``.  Output bytes are identical
+        to loading the layout, calling :meth:`run` and serialising —
+        see :func:`repro.core.stream.stream_fill` for the contract.
+        """
+        from .stream import stream_fill
+
+        return stream_fill(
+            source,
+            output,
+            rules,
+            cols=cols,
+            rows=rows,
+            config=self.config,
+            objective=self.objective,
+            memory_budget=memory_budget,
+            bands=bands,
+            eco_wires=eco_wires,
+            output_format=output_format,
+            include_wires=include_wires,
+            work_dir=work_dir,
+        )
+
+    # ------------------------------------------------------------------
     def _replan(
         self,
         layout: Layout,

@@ -9,10 +9,21 @@ from .filesize import (
 )
 from .reader import GdsiiLibrary, layout_from_gdsii, read_gdsii
 from .records import DataType, RecordType, decode_real8, encode_real8
+from .stream import (
+    GdsiiElement,
+    GdsiiStreamReader,
+    element_loops,
+    element_points,
+    element_rects,
+    iter_stream_records,
+    loop_as_rect,
+    path_to_loops,
+)
 from .writer import (
     DIE_LAYER,
     FILL_DATATYPE,
     WIRE_DATATYPE,
+    GdsiiStreamWriter,
     gdsii_bytes,
     write_gdsii,
 )
@@ -30,9 +41,18 @@ __all__ = [
     "RecordType",
     "decode_real8",
     "encode_real8",
+    "GdsiiElement",
+    "GdsiiStreamReader",
+    "element_loops",
+    "element_points",
+    "element_rects",
+    "iter_stream_records",
+    "loop_as_rect",
+    "path_to_loops",
     "DIE_LAYER",
     "FILL_DATATYPE",
     "WIRE_DATATYPE",
+    "GdsiiStreamWriter",
     "gdsii_bytes",
     "write_gdsii",
 ]

@@ -5,6 +5,12 @@ unknown elements) and reconstructs layers, wires and fills.  Rectangle
 boundaries are recognised directly; non-rectangular rectilinear
 boundaries are decomposed through Gourley–Green, mirroring the
 "convert polygons to rectangles" front end of the paper's flow (Fig. 3).
+
+The record iteration and element-to-geometry conversions live in
+:mod:`repro.gdsii.stream`; this module is the materializing front end
+(everything in one :class:`GdsiiLibrary`), the streaming reader is the
+bounded-memory one.  Both share one state machine, so they agree on
+every parse decision byte for byte.
 """
 
 from __future__ import annotations
@@ -12,17 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..geometry import Rect, RectilinearPolygon, bounding_box, polygon_to_rects
 from ..layout import DrcRules, Layout
-from .records import (
-    DataType,
-    RecordType,
-    decode_ascii,
-    decode_int2,
-    decode_int4,
-    decode_real8,
-    iter_records,
-)
+from .stream import GdsiiStreamReader, element_loops, loop_as_rect, path_to_loops
 from .writer import DIE_LAYER, FILL_DATATYPE, WIRE_DATATYPE
 
 __all__ = ["GdsiiLibrary", "read_gdsii", "layout_from_gdsii"]
@@ -60,48 +59,10 @@ class GdsiiLibrary:
         return sorted({layer for layer, _ in self.boundaries if layer != DIE_LAYER})
 
 
-def _loop_as_rect(loop: List[Tuple[int, int]]) -> Optional[Rect]:
-    points = list(loop)
-    if len(points) >= 2 and points[0] == points[-1]:
-        points = points[:-1]
-    if len(points) != 4:
-        return None
-    xs = sorted({p[0] for p in points})
-    ys = sorted({p[1] for p in points})
-    if len(xs) != 2 or len(ys) != 2:
-        return None
-    expected = {(xs[0], ys[0]), (xs[1], ys[0]), (xs[1], ys[1]), (xs[0], ys[1])}
-    if set(points) != expected:
-        return None
-    return Rect(xs[0], ys[0], xs[1], ys[1])
-
-
-def _path_to_loops(
-    points: List[Tuple[int, int]], width: int
-) -> List[List[Tuple[int, int]]]:
-    """Expand a Manhattan PATH centreline into rectangle loops.
-
-    Each axis-parallel segment becomes one rectangle of the path width
-    (square-ended, the GDSII pathtype-2 convention rounded to the
-    Manhattan case); diagonal segments are rejected.
-    """
-    half = width // 2
-    if half <= 0:
-        raise ValueError(f"PATH width {width} too small to expand")
-    loops: List[List[Tuple[int, int]]] = []
-    for (x0, y0), (x1, y1) in zip(points, points[1:]):
-        if x0 == x1:
-            ylo, yhi = min(y0, y1), max(y0, y1)
-            rect = Rect(x0 - half, ylo - half, x0 + half, yhi + half)
-        elif y0 == y1:
-            xlo, xhi = min(x0, x1), max(x0, x1)
-            rect = Rect(xlo - half, y0 - half, xhi + half, y0 + half)
-        else:
-            raise ValueError(
-                f"non-Manhattan PATH segment ({x0},{y0})->({x1},{y1})"
-            )
-        loops.append(list(rect.corners()))
-    return loops
+# Shared with the streaming reader; re-exported under the historical
+# names for callers that reached into this module directly.
+_loop_as_rect = loop_as_rect
+_path_to_loops = path_to_loops
 
 
 def read_gdsii(data: bytes) -> GdsiiLibrary:
@@ -112,52 +73,37 @@ def read_gdsii(data: bytes) -> GdsiiLibrary:
     per-segment rectangles.  Unknown element types are skipped.
     """
     lib = GdsiiLibrary()
-    element_layer: Optional[int] = None
-    element_datatype: Optional[int] = None
-    element_xy: Optional[List[int]] = None
-    element_width = 0
-    element_kind: Optional[str] = None
-    for rec_type, data_type, payload in iter_records(data):
-        if rec_type == RecordType.LIBNAME:
-            lib.name = decode_ascii(payload)
-        elif rec_type == RecordType.UNITS:
-            lib.user_unit = decode_real8(payload[:8])
-            lib.db_unit_meters = decode_real8(payload[8:])
-        elif rec_type == RecordType.STRNAME:
-            lib.structure_names.append(decode_ascii(payload))
-        elif rec_type == RecordType.BOUNDARY:
-            element_kind = "boundary"
-            element_layer = element_datatype = element_xy = None
-        elif rec_type == RecordType.PATH:
-            element_kind = "path"
-            element_layer = element_datatype = element_xy = None
-            element_width = 0
-        elif rec_type == RecordType.LAYER and element_kind:
-            element_layer = decode_int2(payload)[0]
-        elif rec_type == RecordType.DATATYPE and element_kind:
-            element_datatype = decode_int2(payload)[0]
-        elif rec_type == RecordType.WIDTH and element_kind == "path":
-            element_width = decode_int4(payload)[0]
-        elif rec_type == RecordType.XY and element_kind:
-            element_xy = decode_int4(payload)
-        elif rec_type == RecordType.ENDEL:
-            if element_kind == "boundary":
-                if element_layer is None or element_datatype is None or not element_xy:
-                    raise ValueError("BOUNDARY element missing LAYER/DATATYPE/XY")
-                loop = list(zip(element_xy[0::2], element_xy[1::2]))
-                lib.boundaries.setdefault(
-                    (element_layer, element_datatype), []
-                ).append(loop)
-            elif element_kind == "path":
-                if element_layer is None or element_datatype is None or not element_xy:
-                    raise ValueError("PATH element missing LAYER/DATATYPE/XY")
-                points = list(zip(element_xy[0::2], element_xy[1::2]))
-                for loop in _path_to_loops(points, element_width):
-                    lib.boundaries.setdefault(
-                        (element_layer, element_datatype), []
-                    ).append(loop)
-            element_kind = None
+    reader = GdsiiStreamReader(data)
+    for element in reader.elements():
+        loops = lib.boundaries.setdefault((element.layer, element.datatype), [])
+        loops.extend(element_loops(element))
+    lib.name = reader.name
+    lib.user_unit = reader.user_unit
+    lib.db_unit_meters = reader.db_unit_meters
+    lib.structure_names = reader.structure_names
     return lib
+
+
+def _die_from_rects(die_rects: List[Rect]) -> Rect:
+    """The die outline from the DIE_LAYER boundaries.
+
+    A single outline is taken as-is; multiple outlines (abutted
+    partition frames, doubled-up exports) merge into their bounding
+    box — picking ``die_rects[0]`` would make the die depend on
+    element order in the file.  The merge is reported on the events
+    channel because it usually signals a malformed export.
+    """
+    if len(die_rects) == 1:
+        return die_rects[0]
+    die = bounding_box(die_rects)
+    assert die is not None  # die_rects is non-empty
+    obs.events.emit(
+        "gdsii.multiple_die_outlines",
+        level="warning",
+        count=len(die_rects),
+        die=str(die),
+    )
+    return die
 
 
 def layout_from_gdsii(
@@ -166,13 +112,14 @@ def layout_from_gdsii(
     """Reconstruct a :class:`Layout` from GDSII bytes.
 
     The die is taken from the reserved outline boundary on
-    :data:`~repro.gdsii.writer.DIE_LAYER` when present, otherwise from
+    :data:`~repro.gdsii.writer.DIE_LAYER` when present (the bounding
+    box of all such outlines when there are several), otherwise from
     the bounding box of all geometry.
     """
     lib = read_gdsii(data)
     die_rects = lib.rects(DIE_LAYER, WIRE_DATATYPE)
     if die_rects:
-        die = die_rects[0]
+        die = _die_from_rects(die_rects)
     else:
         everything = [
             r

@@ -3,6 +3,7 @@
 from .drc import DrcRules, DrcViolation, check_fills
 from .layer import Layer
 from .layout import Layout
+from .spill import BandPlan, LayerSpool, ShapeSpill
 from .window import WindowGrid
 
 __all__ = [
@@ -11,5 +12,8 @@ __all__ = [
     "check_fills",
     "Layer",
     "Layout",
+    "BandPlan",
+    "LayerSpool",
+    "ShapeSpill",
     "WindowGrid",
 ]

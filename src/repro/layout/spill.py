@@ -1,0 +1,316 @@
+"""Spill-to-disk spatial bucketing for the out-of-core fill pipeline.
+
+The streaming reader (:mod:`repro.gdsii.stream`) hands shapes over one
+at a time; the engine wants them grouped by locality so each
+window-band can be processed with only its own geometry resident.
+This module is the disk-backed middle: shapes are routed into
+per-band chunk files keyed by the :class:`~repro.layout.WindowGrid`'s
+column dissection, written through small append buffers, and read back
+band by band as fixed-size binary records.
+
+* :class:`BandPlan` — contiguous window-column bands, partitioned by
+  the same rule as :func:`repro.parallel.shard_bounds` so band
+  boundaries line up with the shard executor's work split.
+* :class:`ShapeSpill` — halo-aware routing: a shape lands in every
+  band whose x-range it touches within the query halo, so band-local
+  spatial indexes answer every in-band query exactly as a global
+  index would.
+* :class:`LayerSpool` — order-preserving per-(layer, datatype) spools
+  for pass-through geometry (input wires and kept fills) that must
+  re-emit in input order.
+
+All record framing is fixed-size big-endian (:data:`SHAPE_RECORD`,
+:data:`RECT_RECORD`); a trailing partial record raises a
+``ValueError`` naming the file, mirroring the reader-side error
+discipline of the stream parsers.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple
+
+from ..geometry import Rect
+from ..parallel.shard import shard_bounds
+from .window import WindowGrid
+
+__all__ = ["BandPlan", "LayerSpool", "ShapeSpill"]
+
+#: (layer, datatype, xl, yl, xh, yh) — one routed shape.
+SHAPE_RECORD = struct.Struct(">iiiiii")
+#: (xl, yl, xh, yh) — one spooled rectangle.
+RECT_RECORD = struct.Struct(">iiii")
+
+#: records buffered per band/spool before a chunk write
+DEFAULT_FLUSH_RECORDS = 4096
+
+#: file-read granularity, in records
+_READ_RECORDS = 4096
+
+
+def _read_records(
+    path: str, record: struct.Struct
+) -> Iterator[Tuple[int, ...]]:
+    """Yield fixed-size records from ``path``; loud on a partial tail."""
+    block = record.size * _READ_RECORDS
+    with open(path, "rb") as handle:
+        carry = b""
+        while True:
+            data = handle.read(block)
+            if not data:
+                break
+            data = carry + data
+            whole = len(data) - len(data) % record.size
+            for values in record.iter_unpack(data[:whole]):
+                yield values
+            carry = data[whole:]
+        if carry:
+            raise ValueError(
+                f"corrupt spill chunk {path}: {len(carry)} trailing bytes "
+                f"(record size {record.size})"
+            )
+
+
+class BandPlan:
+    """Contiguous window-column bands over a :class:`WindowGrid`.
+
+    A band is a run of whole window columns; its rectangle spans the
+    full die height.  Bands partition the grid's column-major window
+    order into contiguous ranges, so concatenating per-band results in
+    ascending band order reproduces the grid-order result exactly —
+    the same invariant :func:`repro.parallel.shard_items` gives the
+    sharded engine stages.
+    """
+
+    def __init__(self, grid: WindowGrid, num_bands: int):
+        if num_bands < 1:
+            raise ValueError("num_bands must be at least 1")
+        self.grid = grid
+        self._bounds: List[Tuple[int, int]] = shard_bounds(
+            grid.cols, num_bands
+        )
+        # Band x-ranges: [window(c0).xl, window(c1-1).xh]
+        self._x_ranges: List[Tuple[int, int]] = [
+            (grid.window(c0, 0).xl, grid.window(c1 - 1, 0).xh)
+            for c0, c1 in self._bounds
+        ]
+
+    @property
+    def num_bands(self) -> int:
+        return len(self._bounds)
+
+    def columns(self, band: int) -> range:
+        """Window columns of ``band``, in grid order."""
+        c0, c1 = self._bounds[band]
+        return range(c0, c1)
+
+    def rect(self, band: int) -> Rect:
+        """The band's rectangle: its column span x the full die height."""
+        xl, xh = self._x_ranges[band]
+        return Rect(xl, self.grid.die.yl, xh, self.grid.die.yh)
+
+    def bands_touching(self, rect: Rect, halo: int = 0) -> List[int]:
+        """Bands whose x-range the closed box of ``rect`` + ``halo`` meets.
+
+        Closed-box contact (not positive overlap): a shape exactly
+        ``halo`` away can still decide a spacing query, so routing
+        must over-approximate, never under.
+        """
+        lo = rect.xl - halo
+        hi = rect.xh + halo
+        return [
+            band
+            for band, (xl, xh) in enumerate(self._x_ranges)
+            if lo <= xh and hi >= xl
+        ]
+
+    def band_of_column(self, col: int) -> int:
+        """The band owning window column ``col``."""
+        for band, (c0, c1) in enumerate(self._bounds):
+            if c0 <= col < c1:
+                return band
+        raise ValueError(f"column {col} outside the {self.grid.cols}-column grid")
+
+    def band_of_x(self, x: int) -> int:
+        """The band owning coordinate ``x`` (clamped to the die)."""
+        for band, (xl, xh) in enumerate(self._x_ranges):
+            if x < xh:
+                return band
+        return self.num_bands - 1
+
+
+class ShapeSpill:
+    """Per-band shape chunk files with halo routing.
+
+    Shapes append through small in-memory buffers; each buffer flush
+    is one *chunk* write.  ``bytes_spilled``/``records``/``chunks``
+    feed the ``stream.*`` observability counters.
+    """
+
+    def __init__(
+        self,
+        plan: BandPlan,
+        directory: str,
+        name: str,
+        *,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+    ):
+        if flush_records < 1:
+            raise ValueError("flush_records must be at least 1")
+        self.plan = plan
+        self._paths: List[str] = [
+            os.path.join(directory, f"{name}-band{band:04d}.bin")
+            for band in range(plan.num_bands)
+        ]
+        self._buffers: List[List[bytes]] = [[] for _ in self._paths]
+        self._handles: List[Optional[BinaryIO]] = [None] * len(self._paths)
+        self._flush_records = flush_records
+        self._finished = False
+        self.bytes_spilled = 0
+        self.records = 0
+        self.chunks = 0
+
+    def _flush(self, band: int) -> None:
+        buffer = self._buffers[band]
+        if not buffer:
+            return
+        handle = self._handles[band]
+        if handle is None:
+            handle = open(self._paths[band], "wb")
+            self._handles[band] = handle
+        data = b"".join(buffer)
+        handle.write(data)
+        buffer.clear()
+        self.bytes_spilled += len(data)
+        self.chunks += 1
+
+    def add(self, band: int, layer: int, datatype: int, rect: Rect) -> None:
+        """Append one shape to one band."""
+        if self._finished:
+            raise ValueError("spill is finished")
+        self._buffers[band].append(
+            SHAPE_RECORD.pack(layer, datatype, rect.xl, rect.yl, rect.xh, rect.yh)
+        )
+        self.records += 1
+        if len(self._buffers[band]) >= self._flush_records:
+            self._flush(band)
+
+    def route(
+        self, layer: int, datatype: int, rect: Rect, halo: int
+    ) -> List[int]:
+        """Append the shape to every band it can influence within ``halo``."""
+        bands = self.plan.bands_touching(rect, halo)
+        for band in bands:
+            self.add(band, layer, datatype, rect)
+        return bands
+
+    def finish(self) -> None:
+        """Flush buffers and close handles; the spill becomes read-only."""
+        if self._finished:
+            return
+        for band in range(len(self._paths)):
+            self._flush(band)
+            handle = self._handles[band]
+            if handle is not None:
+                handle.close()
+                self._handles[band] = None
+        self._finished = True
+
+    def read(self, band: int) -> Iterator[Tuple[int, int, Rect]]:
+        """Yield ``(layer, datatype, rect)`` of ``band`` in spill order."""
+        if not self._finished:
+            raise ValueError("spill must be finished before reading")
+        path = self._paths[band]
+        if not os.path.exists(path):
+            return
+        for layer, datatype, xl, yl, xh, yh in _read_records(
+            path, SHAPE_RECORD
+        ):
+            yield layer, datatype, Rect(xl, yl, xh, yh)
+
+
+class LayerSpool:
+    """Order-preserving per-(layer, datatype) rectangle spools.
+
+    The write phase re-emits input wires and surviving fills in their
+    original order; spooling them to disk during the scan pass keeps
+    the pass-through geometry out of memory without disturbing that
+    order.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        name: str,
+        *,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+    ):
+        if flush_records < 1:
+            raise ValueError("flush_records must be at least 1")
+        self._directory = directory
+        self._name = name
+        self._flush_records = flush_records
+        self._buffers: Dict[Tuple[int, int], List[bytes]] = {}
+        self._handles: Dict[Tuple[int, int], BinaryIO] = {}
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._finished = False
+        self.bytes_spilled = 0
+        self.chunks = 0
+
+    def _path(self, key: Tuple[int, int]) -> str:
+        layer, datatype = key
+        return os.path.join(
+            self._directory, f"{self._name}-l{layer:04d}-d{datatype:02d}.bin"
+        )
+
+    def _flush(self, key: Tuple[int, int]) -> None:
+        buffer = self._buffers.get(key)
+        if not buffer:
+            return
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = open(self._path(key), "wb")
+            self._handles[key] = handle
+        data = b"".join(buffer)
+        handle.write(data)
+        buffer.clear()
+        self.bytes_spilled += len(data)
+        self.chunks += 1
+
+    def add(self, layer: int, datatype: int, rect: Rect) -> None:
+        if self._finished:
+            raise ValueError("spool is finished")
+        key = (layer, datatype)
+        buffer = self._buffers.setdefault(key, [])
+        buffer.append(RECT_RECORD.pack(rect.xl, rect.yl, rect.xh, rect.yh))
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if len(buffer) >= self._flush_records:
+            self._flush(key)
+
+    def count(self, layer: int, datatype: int) -> int:
+        return self._counts.get((layer, datatype), 0)
+
+    def keys(self) -> List[Tuple[int, int]]:
+        """Spooled (layer, datatype) keys, sorted."""
+        return sorted(self._counts)
+
+    def finish(self) -> None:
+        if self._finished:
+            return
+        for key in sorted(self._buffers):
+            self._flush(key)
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+        self._finished = True
+
+    def read(self, layer: int, datatype: int) -> Iterator[Rect]:
+        """Yield the key's rectangles in the order they were added."""
+        if not self._finished:
+            raise ValueError("spool must be finished before reading")
+        key = (layer, datatype)
+        if key not in self._counts:
+            return
+        for xl, yl, xh, yh in _read_records(self._path(key), RECT_RECORD):
+            yield Rect(xl, yl, xh, yh)

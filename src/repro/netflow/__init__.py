@@ -5,6 +5,7 @@ from .dualmcf import (
     DifferentialLP,
     DualMcfSolution,
     LPInfeasibleError,
+    release_solver_caches,
     solve_dual_mcf,
 )
 from .graph import (
@@ -30,6 +31,7 @@ __all__ = [
     "DifferentialLP",
     "DualMcfSolution",
     "LPInfeasibleError",
+    "release_solver_caches",
     "solve_dual_mcf",
     "solve_linprog",
 ]

@@ -47,8 +47,21 @@ __all__ = [
     "DifferentialLP",
     "DualMcfSolution",
     "LPInfeasibleError",
+    "release_solver_caches",
     "solve_dual_mcf",
 ]
+
+
+def release_solver_caches() -> None:
+    """Drop the memoised pair-LP solutions.
+
+    The pair cache is value-transparent — clearing it costs speed on
+    repeated coefficient patterns, never changes a result.  The
+    out-of-core driver (:func:`repro.core.stream_fill`) calls this
+    between bands so cached keys cannot accumulate into a resident set
+    proportional to the whole die.
+    """
+    _solve_pair.cache_clear()
 
 
 class LPInfeasibleError(Exception):

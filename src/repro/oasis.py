@@ -11,33 +11,49 @@ all implemented here:
 * **variable-length integers** — coordinates cost what they need,
 * **modal variables** — layer, datatype, width and height are sticky;
   a run of equal-size fills pays for its dimensions once,
-* **repetitions** — a row of N equally spaced rectangles is ONE record
-  (type-3 horizontal repetition), which is how a fill grid collapses to
-  a handful of bytes per window.
+* **repetitions** — a row of N equally spaced rectangles is ONE record,
+  a lattice of N x M is one grid record.  Three repetition shapes are
+  emitted (subset-local type numbering):
+
+  - type 3: horizontal row — ``count``, x-pitch,
+  - type 2: vertical column — ``count``, y-pitch,
+  - type 1: grid — ``nx x ny`` copies on an (x-pitch, y-pitch) lattice,
+    which is how the fill arrays of a full window collapse to a
+    handful of bytes.
 
 The subset is self-consistent (what the writer emits the reader parses
 back exactly) and covers rectangles only — wires and fills, the same
 universe as the GDSII module.  The ``bench_ablation_fileformat``
 benchmark measures the resulting size advantage on a filled layout.
 
+:class:`OasisStreamWriter` is the incremental form used by the
+out-of-core pipeline: header on construction, one
+:meth:`~OasisStreamWriter.rectangles` call per (layer, datatype) shape
+group, END record on :meth:`~OasisStreamWriter.close`.  Repetition
+compression needs the whole group visible at once, so the writer
+buffers one group's rectangles at a time — bounded by the largest
+single (layer, datatype) population, not the whole layout.
+
 Layout of an emitted file::
 
     %SEMI-OASIS\\r\\n
     START  (version "1.0", unit, offset-flag 0)
     CELL   (name)
-    RECTANGLE*  (with modal reuse and row repetitions)
+    RECTANGLE*  (with modal reuse and row/column/grid repetitions)
     END    (padded to 256 bytes, validation scheme 0)
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, Iterable, List, Optional, Tuple, Union
 
 from .geometry import Rect, bounding_box
 from .layout import DrcRules, Layout
 
 __all__ = [
+    "OasisStreamWriter",
     "oasis_bytes",
     "read_oasis",
     "layout_from_oasis",
@@ -58,6 +74,15 @@ _RECTANGLE = 25
 WIRE_DATATYPE = 0
 FILL_DATATYPE = 1
 DIE_LAYER = 0
+
+#: Repetition shapes (subset-local type numbering, see module docstring).
+_REP_GRID = 1
+_REP_VERTICAL = 2
+_REP_HORIZONTAL = 3
+
+#: ``("x", count, pitch)`` | ``("y", count, pitch)`` |
+#: ``("grid", nx, ny, px, py)``
+Repeat = Union[Tuple[str, int, int], Tuple[str, int, int, int, int]]
 
 
 # ----------------------------------------------------------------------
@@ -92,7 +117,14 @@ def write_string(out: bytearray, text: str) -> None:
 
 
 class _Cursor:
-    """Byte cursor for parsing."""
+    """Byte cursor for parsing.
+
+    Every read is bounds-checked: running past the end of the buffer
+    raises a ``ValueError`` naming the offset, never a bare
+    ``IndexError`` (for single bytes) or a silently truncated slice
+    (for strings) — the streaming pipeline relies on malformed input
+    being loudly attributable.
+    """
 
     __slots__ = ("data", "pos")
 
@@ -101,6 +133,8 @@ class _Cursor:
         self.pos = pos
 
     def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise ValueError(f"truncated OASIS stream at byte {self.pos}")
         b = self.data[self.pos]
         self.pos += 1
         return b
@@ -123,7 +157,13 @@ class _Cursor:
         return -magnitude if raw & 1 else magnitude
 
     def string(self) -> str:
+        start = self.pos
         length = self.uint()
+        if self.pos + length > len(self.data):
+            raise ValueError(
+                f"truncated OASIS string at byte {start}: needs {length} "
+                f"bytes, stream ends at {len(self.data)}"
+            )
         raw = self.data[self.pos : self.pos + length]
         self.pos += length
         return raw.decode("ascii")
@@ -146,12 +186,14 @@ def _emit_rectangle(
     layer: int,
     datatype: int,
     rect: Rect,
-    repeat: Optional[Tuple[int, int]] = None,
+    repeat: Optional[Repeat] = None,
 ) -> None:
     """One RECTANGLE record, reusing modal state where possible.
 
-    ``repeat=(count, pitch)`` attaches a type-3 horizontal repetition:
-    the rectangle plus ``count - 1`` copies spaced ``pitch`` apart.
+    ``repeat`` attaches a repetition: ``("x", count, pitch)`` is a
+    horizontal row (type 3), ``("y", count, pitch)`` a vertical column
+    (type 2), ``("grid", nx, ny, px, py)`` an ``nx x ny`` lattice
+    (type 1).  Counts are stored minus two, per OASIS convention.
     """
     # Info byte: S W H X Y R D L  (bit 7 .. bit 0).
     info = 0x18  # X and Y always explicit
@@ -189,23 +231,32 @@ def _emit_rectangle(
     write_sint(out, rect.xl)
     write_sint(out, rect.yl)
     if repeat is not None:
-        count, pitch = repeat
-        write_uint(out, 3)  # repetition type 3: horizontal row
-        write_uint(out, count - 2)  # stored as count minus two
-        write_uint(out, pitch)
+        if repeat[0] == "grid":
+            _, nx, ny, px, py = repeat
+            write_uint(out, _REP_GRID)
+            write_uint(out, nx - 2)
+            write_uint(out, ny - 2)
+            write_uint(out, px)
+            write_uint(out, py)
+        else:
+            axis, count, pitch = repeat
+            write_uint(out, _REP_HORIZONTAL if axis == "x" else _REP_VERTICAL)
+            write_uint(out, count - 2)
+            write_uint(out, pitch)
 
 
-def _rows(rects: List[Rect]) -> List[Tuple[Rect, Optional[Tuple[int, int]]]]:
-    """Group same-size rectangles into horizontal rows at equal pitch.
+def _runs(rects: List[Rect]) -> List[Tuple[Rect, int, int]]:
+    """Greedy constant-pitch horizontal runs per row.
 
-    Returns (anchor rectangle, optional (count, pitch)) items covering
-    every input rectangle exactly once.  Input must all share one
-    (width, height).
+    Returns ``(anchor, count, pitch)`` items covering every input
+    rectangle exactly once, rows in ascending ``yl``, runs
+    left-to-right; single rectangles carry ``count=1, pitch=0``.
+    Input must all share one (width, height).
     """
     by_row: Dict[int, List[Rect]] = {}
     for r in rects:
         by_row.setdefault(r.yl, []).append(r)
-    out: List[Tuple[Rect, Optional[Tuple[int, int]]]] = []
+    out: List[Tuple[Rect, int, int]] = []
     for yl in sorted(by_row):
         row = sorted(by_row[yl], key=lambda r: r.xl)
         start = 0
@@ -222,12 +273,150 @@ def _rows(rects: List[Rect]) -> List[Tuple[Rect, Optional[Tuple[int, int]]]]:
                 end += 1
             count = end - start
             if count >= 2 and pitch is not None and pitch > 0:
-                out.append((row[start], (count, pitch)))
+                out.append((row[start], count, pitch))
             else:
-                out.append((row[start], None))
+                out.append((row[start], 1, 0))
                 end = start + 1
             start = end
     return out
+
+
+def _repetitions(rects: List[Rect]) -> List[Tuple[Rect, Optional[Repeat]]]:
+    """Collapse same-size rectangles into row/column/grid repetitions.
+
+    Two greedy passes: horizontal constant-pitch runs per row
+    (:func:`_runs`), then rows whose runs share (xl, count, x-pitch)
+    and repeat at a constant y-pitch stack into grids (or vertical
+    columns when the run is a single rectangle).  Every input
+    rectangle is covered exactly once; output blocks are sorted by
+    (anchor yl, anchor xl) so the emission is order-independent of
+    the input.
+    """
+    runs = _runs(rects)
+    by_signature: Dict[Tuple[int, int, int], List[Tuple[Rect, int, int]]] = {}
+    for anchor, count, pitch in runs:
+        by_signature.setdefault((anchor.xl, count, pitch), []).append(
+            (anchor, count, pitch)
+        )
+    blocks: List[Tuple[Rect, Optional[Repeat]]] = []
+    for signature in sorted(by_signature):
+        column = sorted(by_signature[signature], key=lambda item: item[0].yl)
+        start = 0
+        while start < len(column):
+            # Longest stack of rows at constant y-pitch from `start`.
+            end = start + 1
+            y_pitch = None
+            while end < len(column):
+                step = column[end][0].yl - column[end - 1][0].yl
+                if y_pitch is None:
+                    y_pitch = step
+                elif step != y_pitch:
+                    break
+                end += 1
+            rows = end - start
+            anchor, count, pitch = column[start]
+            if rows >= 2 and y_pitch is not None and y_pitch > 0:
+                if count >= 2:
+                    blocks.append(
+                        (anchor, ("grid", count, rows, pitch, y_pitch))
+                    )
+                else:
+                    blocks.append((anchor, ("y", rows, y_pitch)))
+            else:
+                if count >= 2:
+                    blocks.append((anchor, ("x", count, pitch)))
+                else:
+                    blocks.append((anchor, None))
+                end = start + 1
+            start = end
+    blocks.sort(key=lambda item: (item[0].yl, item[0].xl))
+    return blocks
+
+
+class OasisStreamWriter:
+    """Incremental OASIS-subset emitter.
+
+    Writes the header on construction, shape groups as they are
+    handed over, and the END record on :meth:`close`.  Emitting the
+    same (layer, datatype) groups in the same order as
+    :func:`oasis_bytes` produces the same bytes: repetition extraction
+    (:func:`_repetitions`) canonicalizes each group regardless of the
+    order its rectangles arrive in, and modal state carries across
+    calls exactly as it does in the one-shot writer.
+    """
+
+    def __init__(self, stream: BinaryIO, *, cell_name: str = "TOP"):
+        self._stream = stream
+        self._modal = _Modal()
+        self._bytes_written = 0
+        self._closed = False
+        head = bytearray()
+        head.extend(MAGIC)
+        head.append(_START)
+        write_string(head, "1.0")
+        # unit (real type 0: positive integer): grid units per micron.
+        head.append(0)
+        write_uint(head, 1000)
+        write_uint(head, 0)  # offset-flag: table offsets in the END record
+        head.append(_CELL_NAME)
+        write_string(head, cell_name)
+        self._write(head)
+
+    def _write(self, data: Union[bytes, bytearray]) -> None:
+        self._stream.write(bytes(data))
+        self._bytes_written += len(data)
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    def rectangle(self, layer: int, datatype: int, rect: Rect) -> None:
+        """Emit one rectangle with no repetition (e.g. the die outline)."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        out = bytearray()
+        _emit_rectangle(out, self._modal, layer, datatype, rect)
+        self._write(out)
+
+    def rectangles(
+        self, layer: int, datatype: int, rects: Iterable[Rect]
+    ) -> None:
+        """Emit one (layer, datatype) shape group, repetition-compressed.
+
+        The group is buffered in full (coordinates only) so equal-size
+        runs can collapse into row/column/grid repetitions; this is
+        the writer's only unbounded-in-theory allocation and is noted
+        in docs/PERFORMANCE.md.
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        by_size: Dict[Tuple[int, int], List[Rect]] = {}
+        for r in rects:
+            by_size.setdefault((r.width, r.height), []).append(r)
+        out = bytearray()
+        for size in sorted(by_size):
+            for anchor, repeat in _repetitions(by_size[size]):
+                _emit_rectangle(out, self._modal, layer, datatype, anchor, repeat)
+        self._write(out)
+
+    def close(self) -> int:
+        """Write the padded END record; returns total bytes written."""
+        if not self._closed:
+            tail = bytearray()
+            # END record padded so the END record itself spans 256 bytes.
+            tail.append(_END)
+            pad = 256 - 1 - 1  # minus record byte and validation-scheme byte
+            tail.extend(b"\x00" * pad)
+            write_uint(tail, 0)  # validation scheme 0: none
+            self._write(tail)
+            self._closed = True
+        return self._bytes_written
+
+    def __enter__(self) -> "OasisStreamWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def oasis_bytes(
@@ -237,41 +426,16 @@ def oasis_bytes(
     include_wires: bool = True,
 ) -> bytes:
     """Serialise a layout as an OASIS-subset byte stream."""
-    out = bytearray()
-    out.extend(MAGIC)
-    out.append(_START)
-    write_string(out, "1.0")
-    # unit (real type 0: positive integer): grid units per micron.
-    out.append(0)
-    write_uint(out, 1000)
-    write_uint(out, 0)  # offset-flag: table offsets in the END record
-    out.append(_CELL_NAME)
-    write_string(out, cell_name)
-
-    modal = _Modal()
+    buf = io.BytesIO()
+    writer = OasisStreamWriter(buf, cell_name=cell_name)
     # Die outline first (layer 0), mirroring the GDSII writer.
-    _emit_rectangle(out, modal, DIE_LAYER, WIRE_DATATYPE, layout.die)
+    writer.rectangle(DIE_LAYER, WIRE_DATATYPE, layout.die)
     for layer in layout.layers:
-        shape_sets = []
         if include_wires:
-            shape_sets.append((WIRE_DATATYPE, layer.wires))
-        shape_sets.append((FILL_DATATYPE, layer.fills))
-        for datatype, shapes in shape_sets:
-            by_size: Dict[Tuple[int, int], List[Rect]] = {}
-            for r in shapes:
-                by_size.setdefault((r.width, r.height), []).append(r)
-            for size in sorted(by_size):
-                for anchor, repeat in _rows(by_size[size]):
-                    _emit_rectangle(
-                        out, modal, layer.number, datatype, anchor, repeat
-                    )
-
-    # END record padded so the END record itself spans 256 bytes.
-    out.append(_END)
-    pad = 256 - 1 - 1  # minus record byte and validation-scheme byte
-    out.extend(b"\x00" * pad)
-    write_uint(out, 0)  # validation scheme 0: none
-    return bytes(out)
+            writer.rectangles(layer.number, WIRE_DATATYPE, layer.wires)
+        writer.rectangles(layer.number, FILL_DATATYPE, layer.fills)
+    writer.close()
+    return buf.getvalue()
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +448,32 @@ class OasisCell:
     name: str = ""
     unit: int = 1000
     rects: Dict[Tuple[int, int], List[Rect]] = field(default_factory=dict)
+
+
+def _repetition_positions(
+    cur: _Cursor, x: int, y: int
+) -> List[Tuple[int, int]]:
+    """Expand a repetition spec into anchor positions (reader side).
+
+    Grid copies enumerate rows-outer, columns-inner — matching the
+    writer, which anchors every grid at its lowest-leftmost member.
+    """
+    rep_type = cur.uint()
+    if rep_type == _REP_GRID:
+        nx = cur.uint() + 2
+        ny = cur.uint() + 2
+        px = cur.uint()
+        py = cur.uint()
+        return [(x + a * px, y + b * py) for b in range(ny) for a in range(nx)]
+    if rep_type == _REP_VERTICAL:
+        count = cur.uint() + 2
+        pitch = cur.uint()
+        return [(x, y + k * pitch) for k in range(count)]
+    if rep_type == _REP_HORIZONTAL:
+        count = cur.uint() + 2
+        pitch = cur.uint()
+        return [(x + k * pitch, y) for k in range(count)]
+    raise ValueError(f"unsupported repetition type {rep_type}")
 
 
 def read_oasis(data: bytes) -> OasisCell:
@@ -331,12 +521,7 @@ def read_oasis(data: bytes) -> OasisCell:
                 raise ValueError("RECTANGLE before modal state established")
             positions = [(x, y)]
             if info & 0x04:
-                rep_type = cur.uint()
-                if rep_type != 3:
-                    raise ValueError(f"unsupported repetition type {rep_type}")
-                count = cur.uint() + 2
-                pitch = cur.uint()
-                positions = [(x + k * pitch, y) for k in range(count)]
+                positions = _repetition_positions(cur, x, y)
             key = (modal.layer, modal.datatype)
             bucket = cell.rects.setdefault(key, [])
             for px, py in positions:
@@ -357,7 +542,10 @@ def layout_from_oasis(
     cell = read_oasis(data)
     die_rects = cell.rects.get((DIE_LAYER, WIRE_DATATYPE), [])
     if die_rects:
-        die = die_rects[0]
+        # Multiple outlines merge into their bounding box, matching
+        # repro.gdsii.reader: element order must not pick the die.
+        die = die_rects[0] if len(die_rects) == 1 else bounding_box(die_rects)
+        assert die is not None
     else:
         everything = [r for rects in cell.rects.values() for r in rects]
         die = bounding_box(everything)

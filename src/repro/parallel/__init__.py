@@ -45,7 +45,7 @@ from .executor import (
     run_sharded,
     sanitize_enabled,
 )
-from .shard import shard_items
+from .shard import shard_bounds, shard_items
 
 __all__ = [
     "BACKENDS",
@@ -55,5 +55,6 @@ __all__ = [
     "resolve_workers",
     "run_sharded",
     "sanitize_enabled",
+    "shard_bounds",
     "shard_items",
 ]

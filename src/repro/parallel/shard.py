@@ -9,11 +9,36 @@ exactly, which is what makes ``workers=N`` bit-identical to
 
 from __future__ import annotations
 
-from typing import List, Sequence, TypeVar
+from typing import List, Sequence, Tuple, TypeVar
 
-__all__ = ["shard_items"]
+__all__ = ["shard_bounds", "shard_items"]
 
 T = TypeVar("T")
+
+
+def shard_bounds(total: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Half-open ``[start, end)`` index ranges of contiguous shards.
+
+    The partition rule behind :func:`shard_items`, exposed for callers
+    that shard an *implicit* sequence (the streaming pipeline's
+    window-column bands): sizes differ by at most one, the first
+    ``total % num_shards`` shards get the extra item, ranges preserve
+    order and tile ``[0, total)`` exactly.  Empty ranges are never
+    returned; fewer items than shards yields one range per item.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if total == 0:
+        return []
+    shards = min(num_shards, total)
+    base, extra = divmod(total, shards)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(shards):
+        size = base + (1 if k < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
 
 
 def shard_items(items: Sequence[T], num_shards: int) -> List[List[T]]:
@@ -24,17 +49,7 @@ def shard_items(items: Sequence[T], num_shards: int) -> List[List[T]]:
     their concatenation is exactly ``items``.  Empty chunks are never
     returned: fewer items than shards yields one chunk per item.
     """
-    if num_shards < 1:
-        raise ValueError("num_shards must be at least 1")
-    n = len(items)
-    if n == 0:
-        return []
-    shards = min(num_shards, n)
-    base, extra = divmod(n, shards)
-    out: List[List[T]] = []
-    start = 0
-    for k in range(shards):
-        size = base + (1 if k < extra else 0)
-        out.append(list(items[start : start + size]))
-        start += size
-    return out
+    return [
+        list(items[start:end])
+        for start, end in shard_bounds(len(items), num_shards)
+    ]

@@ -103,6 +103,31 @@ class TestBenchRecord:
         for names in BENCH_SETS.values():
             assert names
 
+    def test_smoke_set_includes_streaming_case(self):
+        assert "stream-smoke" in BENCH_SETS["smoke"]
+
+
+class TestStreamSmokeBenchmark:
+    @pytest.fixture(scope="class")
+    def stream_record(self):
+        return run_benchmark("stream-smoke", worst_k=3)
+
+    def test_quality_matches_in_memory_smoke(self, smoke_record, stream_record):
+        # Streamed output is byte-identical to the in-memory path, so
+        # every deterministic quality component must agree exactly.
+        for key in ("overlay", "variation", "line", "outlier", "size"):
+            assert stream_record.scores[key] == smoke_record.scores[key]
+        assert stream_record.num_fills == smoke_record.num_fills
+        assert stream_record.gds_bytes == smoke_record.gds_bytes
+
+    def test_stage_seconds_from_stream_span_tree(self, stream_record):
+        for stage in ("scan", "bucket", "analysis", "sizing", "io.write"):
+            assert stage in stream_record.stage_seconds
+
+    def test_record_identity(self, stream_record):
+        assert stream_record.bench == "stream-smoke"
+        assert stream_record.config["bands"] > 1
+
 
 class TestOverlayAttribution:
     def test_overlay_map_sums_to_overlay_area(self, smoke_record):

@@ -1,0 +1,207 @@
+"""Out-of-core streaming fill: byte parity with the in-memory engine."""
+
+import io
+
+import pytest
+
+from repro.bench.generator import LayoutSpec, generate_layout
+from repro.core import DummyFillEngine, FillConfig, resolve_bands, stream_fill
+from repro.core.stream import DEFAULT_MEMORY_BUDGET, _BYTES_PER_SHAPE
+from repro.eco import apply_eco
+from repro.gdsii import gdsii_bytes, layout_from_gdsii
+from repro.geometry import Rect
+from repro.layout import DrcRules, WindowGrid
+from repro.oasis import oasis_bytes
+
+RULES = DrcRules(
+    min_spacing=10,
+    min_width=10,
+    min_area=400,
+    max_fill_width=150,
+    max_fill_height=150,
+)
+
+
+def _unfilled_bytes():
+    spec = LayoutSpec(name="p", die_size=1600, seed=7, num_cell_rects=120, rules=RULES)
+    return gdsii_bytes(generate_layout(spec))
+
+
+def _reference_filled(raw, config):
+    layout = layout_from_gdsii(raw, RULES)
+    grid = WindowGrid(layout.die, 4, 4)
+    DummyFillEngine(config).run(layout, grid)
+    return layout
+
+
+class TestResolveBands:
+    def test_explicit_bands_clamped_to_columns(self):
+        assert resolve_bands(100, 4, bands=9) == 4
+        assert resolve_bands(100, 4, bands=2) == 2
+
+    def test_budget_scales_band_count(self):
+        one_band = resolve_bands(10, 8, memory_budget=DEFAULT_MEMORY_BUDGET)
+        assert one_band == 1
+        shapes = 4 * DEFAULT_MEMORY_BUDGET // _BYTES_PER_SHAPE
+        assert resolve_bands(shapes, 8) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            resolve_bands(10, 0)
+        with pytest.raises(ValueError):
+            resolve_bands(10, 4, bands=0)
+        with pytest.raises(ValueError):
+            resolve_bands(10, 4, memory_budget=0)
+
+
+class TestFillParity:
+    @pytest.mark.parametrize("bands", [1, 2, 4])
+    def test_gdsii_byte_identity_serial(self, bands):
+        raw = _unfilled_bytes()
+        config = FillConfig()
+        expected = gdsii_bytes(_reference_filled(raw, config))
+        buf = io.BytesIO()
+        report = stream_fill(
+            raw, buf, RULES, cols=4, rows=4, config=config, bands=bands
+        )
+        assert buf.getvalue() == expected
+        assert report.bands == bands
+        assert report.bytes_written == len(expected)
+        assert report.bytes_spilled > 0 and report.chunks > 0
+
+    def test_gdsii_byte_identity_workers_4(self):
+        raw = _unfilled_bytes()
+        config = FillConfig(workers=4, parallel="thread")
+        expected = gdsii_bytes(_reference_filled(raw, config))
+        buf = io.BytesIO()
+        stream_fill(raw, buf, RULES, cols=4, rows=4, config=config, bands=3)
+        assert buf.getvalue() == expected
+
+    def test_oasis_byte_identity(self):
+        raw = _unfilled_bytes()
+        config = FillConfig()
+        expected = oasis_bytes(_reference_filled(raw, config))
+        buf = io.BytesIO()
+        stream_fill(
+            raw,
+            buf,
+            RULES,
+            cols=4,
+            rows=4,
+            config=config,
+            bands=2,
+            output_format="oasis",
+        )
+        assert buf.getvalue() == expected
+
+    def test_memory_budget_controls_bands(self):
+        raw = _unfilled_bytes()
+        buf = io.BytesIO()
+        report = stream_fill(
+            raw, buf, RULES, cols=4, rows=4, memory_budget=1024
+        )
+        assert report.bands > 1
+
+    def test_report_counts_and_stages(self):
+        raw = _unfilled_bytes()
+        buf = io.BytesIO()
+        report = stream_fill(raw, buf, RULES, cols=4, rows=4, bands=2)
+        assert report.num_fills > 0
+        assert report.num_candidates >= report.num_fills
+        assert not report.violations
+        for stage in ("scan", "bucket", "analysis", "sizing", "io.write"):
+            assert stage in report.stage_seconds
+        assert f"fills={report.num_fills}" in report.summary()
+
+
+class TestEcoParity:
+    def test_eco_byte_identity(self):
+        raw = _unfilled_bytes()
+        config = FillConfig()
+        filled = gdsii_bytes(_reference_filled(raw, config))
+        new_wires = {
+            1: [Rect(900, 900, 1100, 960)],
+            2: [Rect(200, 200, 420, 260)],
+        }
+
+        reference = layout_from_gdsii(filled, RULES)
+        grid = WindowGrid(reference.die, 4, 4)
+        apply_eco(reference, grid, new_wires, config)
+        expected = gdsii_bytes(reference)
+
+        buf = io.BytesIO()
+        report = stream_fill(
+            filled,
+            buf,
+            RULES,
+            cols=4,
+            rows=4,
+            config=config,
+            bands=2,
+            eco_wires=new_wires,
+        )
+        assert buf.getvalue() == expected
+        assert report.removed_fills > 0
+        assert report.kept_fills > 0
+
+    def test_eco_noop_writes_input_through(self):
+        raw = _unfilled_bytes()
+        config = FillConfig()
+        filled = gdsii_bytes(_reference_filled(raw, config))
+        buf = io.BytesIO()
+        report = stream_fill(
+            filled, buf, RULES, cols=4, rows=4, bands=2, eco_wires={}
+        )
+        assert buf.getvalue() == filled
+        assert report.removed_fills == 0
+        assert report.num_fills == 0
+
+    def test_eco_wire_escaping_die_rejected(self):
+        raw = _unfilled_bytes()
+        with pytest.raises(ValueError, match="escapes the die"):
+            stream_fill(
+                raw,
+                io.BytesIO(),
+                RULES,
+                cols=4,
+                rows=4,
+                eco_wires={1: [Rect(-50, 0, 10, 10)]},
+            )
+
+    def test_eco_unknown_layer_rejected(self):
+        raw = _unfilled_bytes()
+        with pytest.raises(KeyError, match="not in layout"):
+            stream_fill(
+                raw,
+                io.BytesIO(),
+                RULES,
+                cols=4,
+                rows=4,
+                eco_wires={9: [Rect(0, 0, 10, 10)]},
+            )
+
+
+class TestEngineEntryPoint:
+    def test_run_streaming_delegates(self, tmp_path):
+        raw = _unfilled_bytes()
+        config = FillConfig()
+        expected = gdsii_bytes(_reference_filled(raw, config))
+        src = tmp_path / "in.gds"
+        dst = tmp_path / "out.gds"
+        src.write_bytes(raw)
+        report = DummyFillEngine(config).run_streaming(
+            str(src), str(dst), RULES, cols=4, rows=4, bands=2
+        )
+        assert dst.read_bytes() == expected
+        assert report.num_fills > 0
+
+    def test_bad_output_format_rejected(self):
+        with pytest.raises(ValueError, match="output_format"):
+            stream_fill(
+                _unfilled_bytes(),
+                io.BytesIO(),
+                RULES,
+                cols=4,
+                rows=4,
+                output_format="dxf",
+            )
